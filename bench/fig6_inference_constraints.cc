@@ -1,0 +1,132 @@
+// Figure 6: configuring AutoML systems for inference. CAML is run with
+// per-instance inference-time constraints; AutoGluon with its
+// refit-for-faster-inference setting. The paper's finding: constraints
+// save up to 69% (CAML) / 79% (AutoGluon) of inference energy at a 5-6%
+// accuracy cost.
+
+#include <cstdio>
+
+#include "green/bench_util/aggregate.h"
+#include "green/bench_util/experiment.h"
+#include "green/bench_util/table_printer.h"
+#include "green/common/stringutil.h"
+#include "green/ml/metrics.h"
+#include "green/table/split.h"
+
+namespace green {
+namespace {
+
+struct CellStats {
+  double accuracy = 0.0;
+  double inference_kwh = 0.0;
+};
+
+int Main() {
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  if (config.dataset_limit == 0 || config.dataset_limit > 6) {
+    config.dataset_limit = 6;
+  }
+  ExperimentRunner runner(config);
+  EnergyModel energy_model(config.machine);
+  const std::vector<double> budgets = {10.0, 30.0, 60.0, 300.0};
+
+  // The paper constrains inference to 0.001-0.003 s/instance on its
+  // machine; we scale those limits to the simulated machine's throughput
+  // (same fraction of a virtual second).
+  const std::vector<double> constraints = {0.0, 3e-3, 1.5e-3, 5e-4};
+
+  PrintBanner(
+      "Figure 6 (CAML): inference-time constraints vs accuracy & energy");
+  TablePrinter caml_table({"budget", "constraint s/inst", "bal.acc",
+                           "inference kWh/inst", "saving vs none"});
+  for (double budget : budgets) {
+    double unconstrained_kwh = -1.0;
+    for (double constraint : constraints) {
+      std::vector<double> accs;
+      std::vector<double> kwhs;
+      for (const Dataset& dataset : runner.suite()) {
+        for (int rep = 0; rep < config.repetitions; ++rep) {
+          auto system = runner.MakeSystem("caml", budget);
+          if (!system.ok()) continue;
+          VirtualClock clock;
+          ExecutionContext ctx(&clock, &energy_model, config.cores);
+          Rng rng(HashCombine(config.seed, rep + 1));
+          TrainTestData data = Materialize(
+              dataset, StratifiedSplit(dataset, 0.66, &rng));
+          AutoMlOptions options;
+          options.search_budget_seconds = budget * config.budget_scale;
+          options.seed = HashCombine(config.seed, rep + 17);
+          if (constraint > 0.0) {
+            options.max_inference_seconds_per_row = constraint;
+          }
+          auto run = (*system)->Fit(data.train, options, &ctx);
+          if (!run.ok()) continue;
+          EnergyMeter meter(&energy_model);
+          meter.Start(clock.Now());
+          ctx.SetMeter(&meter);
+          auto preds = run->artifact.Predict(data.test, &ctx);
+          const EnergyReading inference = meter.Stop(clock.Now());
+          ctx.SetMeter(nullptr);
+          if (!preds.ok()) continue;
+          accs.push_back(BalancedAccuracy(data.test.labels(),
+                                          preds.value(),
+                                          data.test.num_classes()));
+          kwhs.push_back(inference.kwh() /
+                         static_cast<double>(data.test.num_rows()) /
+                         config.budget_scale);
+        }
+      }
+      const double kwh = ComputeStats(kwhs).mean;
+      if (constraint == 0.0) unconstrained_kwh = kwh;
+      caml_table.AddRow(
+          {StrFormat("%gs", budget),
+           constraint == 0.0 ? "none" : StrFormat("%.4f", constraint),
+           StrFormat("%.3f", ComputeStats(accs).mean), FormatSci(kwh),
+           constraint == 0.0 || unconstrained_kwh <= 0.0
+               ? "-"
+               : StrFormat("%.0f%%",
+                           100.0 * (1.0 - kwh / unconstrained_kwh))});
+    }
+  }
+  caml_table.Print();
+
+  PrintBanner(
+      "Figure 6 (AutoGluon): deployment-optimized refit configuration");
+  TablePrinter gluon_table({"budget", "mode", "bal.acc",
+                            "inference kWh/inst", "saving vs default"});
+  for (double budget : budgets) {
+    double default_kwh = -1.0;
+    for (const std::string& mode : {"autogluon", "autogluon_refit"}) {
+      std::vector<double> accs;
+      std::vector<double> kwhs;
+      for (const Dataset& dataset : runner.suite()) {
+        for (int rep = 0; rep < config.repetitions; ++rep) {
+          auto record = runner.RunOne(mode, dataset, budget, rep);
+          if (!record.ok()) continue;
+          accs.push_back(record->test_balanced_accuracy);
+          kwhs.push_back(record->inference_kwh_per_instance);
+        }
+      }
+      const double kwh = ComputeStats(kwhs).mean;
+      if (mode == "autogluon") default_kwh = kwh;
+      gluon_table.AddRow(
+          {StrFormat("%gs", budget),
+           mode == "autogluon" ? "default" : "refit (fast inference)",
+           StrFormat("%.3f", ComputeStats(accs).mean), FormatSci(kwh),
+           mode == "autogluon" || default_kwh <= 0.0
+               ? "-"
+               : StrFormat("%.0f%%", 100.0 * (1.0 - kwh / default_kwh))});
+    }
+  }
+  gluon_table.Print();
+  std::printf(
+      "\nPaper shape check: tighter constraints / refit reduce inference "
+      "energy substantially at a modest accuracy cost; even optimized "
+      "AutoGluon stays above unconstrained CAML (it still ensembles).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace green
+
+int main() { return green::Main(); }

@@ -1,0 +1,76 @@
+// Figure 8: the guideline flowchart for picking the most energy-efficient
+// AutoML solution, rendered as ASCII, plus a table of representative
+// queries and the recommendation each receives.
+
+#include <cstdio>
+
+#include "green/automl/guideline.h"
+#include "green/bench_util/table_printer.h"
+#include "green/common/stringutil.h"
+
+namespace green {
+namespace {
+
+int Main() {
+  PrintBanner("Figure 8: guideline flowchart");
+  std::fputs(RenderGuidelineChart().c_str(), stdout);
+
+  PrintBanner("Guideline applied to representative scenarios");
+  TablePrinter table({"scenario", "recommendation", "why"});
+
+  struct Scenario {
+    const char* name;
+    GuidelineQuery query;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    GuidelineQuery q;
+    q.has_development_resources = true;
+    q.planned_executions = 5000;
+    scenarios.push_back({"AutoML-as-a-service (5000 runs planned)", q});
+  }
+  {
+    GuidelineQuery q;
+    q.search_budget_seconds = 5.0;
+    q.num_classes = 2;
+    q.gpu_available = true;
+    scenarios.push_back({"ad-hoc binary task, <10s, GPU at hand", q});
+  }
+  {
+    GuidelineQuery q;
+    q.search_budget_seconds = 5.0;
+    q.num_classes = 355;  // dionis.
+    scenarios.push_back({"ad-hoc 355-class task, <10s", q});
+  }
+  {
+    GuidelineQuery q;
+    q.search_budget_seconds = 300.0;
+    q.priority = GuidelineQuery::Priority::kFastInference;
+    scenarios.push_back(
+        {"fraud scoring: millions of predictions/day", q});
+  }
+  {
+    GuidelineQuery q;
+    q.search_budget_seconds = 300.0;
+    q.priority = GuidelineQuery::Priority::kAccuracy;
+    scenarios.push_back({"rare medical diagnosis: accuracy first", q});
+  }
+  {
+    GuidelineQuery q;
+    q.search_budget_seconds = 60.0;
+    q.priority = GuidelineQuery::Priority::kParetoOptimal;
+    scenarios.push_back({"balanced cost/quality deployment", q});
+  }
+
+  for (const Scenario& scenario : scenarios) {
+    const GuidelineRecommendation rec = RecommendSystem(scenario.query);
+    table.AddRow({scenario.name, rec.system, rec.rationale});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace green
+
+int main() { return green::Main(); }

@@ -1,0 +1,164 @@
+// Kernel microbenchmarks (google-benchmark): host-side throughput of the
+// instrumented substrates. These measure REAL wall time of the library's
+// kernels — complementary to the virtual-time experiment harnesses, and
+// useful for spotting performance regressions in the simulator itself.
+
+#include <benchmark/benchmark.h>
+
+#include "green/automl/caml_system.h"
+#include "green/data/synthetic.h"
+#include "green/ml/models/attention_few_shot.h"
+#include "green/ml/models/decision_tree.h"
+#include "green/ml/models/gradient_boosting.h"
+#include "green/ml/models/random_forest.h"
+#include "green/search/caruana.h"
+#include "green/search/rf_surrogate.h"
+#include "green/table/split.h"
+
+namespace green {
+namespace {
+
+Dataset BenchData(size_t rows, size_t features, int classes) {
+  SyntheticSpec spec;
+  spec.name = "bench";
+  spec.num_rows = rows;
+  spec.num_features = features;
+  spec.num_informative = features / 2;
+  spec.num_classes = classes;
+  spec.seed = 99;
+  auto data = GenerateSynthetic(spec);
+  return std::move(data).value();
+}
+
+struct Ctx {
+  VirtualClock clock;
+  EnergyModel model{MachineModel::Minimal()};
+  ExecutionContext ctx{&clock, &model, 1};
+};
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  const Dataset data =
+      BenchData(static_cast<size_t>(state.range(0)), 16, 2);
+  Ctx c;
+  for (auto _ : state) {
+    DecisionTreeParams params;
+    params.max_depth = 8;
+    DecisionTree tree(params);
+    benchmark::DoNotOptimize(tree.Fit(data, &c.ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(200)->Arg(800);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  const Dataset data = BenchData(400, 16, 3);
+  Ctx c;
+  RandomForestParams params;
+  params.num_trees = static_cast<int>(state.range(0));
+  RandomForest forest(params);
+  if (!forest.Fit(data, &c.ctx).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.PredictProba(data, &c.ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_RandomForestPredict)->Arg(8)->Arg(32);
+
+void BM_GradientBoostingFit(benchmark::State& state) {
+  const Dataset data = BenchData(300, 12, 2);
+  Ctx c;
+  for (auto _ : state) {
+    GradientBoostingParams params;
+    params.num_rounds = static_cast<int>(state.range(0));
+    GradientBoosting gb(params);
+    benchmark::DoNotOptimize(gb.Fit(data, &c.ctx));
+  }
+}
+BENCHMARK(BM_GradientBoostingFit)->Arg(10)->Arg(30);
+
+void BM_AttentionFewShotInference(benchmark::State& state) {
+  const Dataset data =
+      BenchData(static_cast<size_t>(state.range(0)), 16, 2);
+  Ctx c;
+  AttentionFewShot model{AttentionFewShotParams{}};
+  if (!model.Fit(data, &c.ctx).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictProba(data, &c.ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_AttentionFewShotInference)->Arg(128)->Arg(512);
+
+void BM_RfSurrogateFit(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::vector<double> x(12);
+    for (double& v : x) v = rng.NextDouble();
+    ys.push_back(x[0] * x[1]);
+    xs.push_back(std::move(x));
+  }
+  for (auto _ : state) {
+    RfSurrogate surrogate(RfSurrogate::Options{});
+    benchmark::DoNotOptimize(surrogate.Fit(xs, ys));
+  }
+}
+BENCHMARK(BM_RfSurrogateFit)->Arg(50)->Arg(200);
+
+void BM_CaruanaSelection(benchmark::State& state) {
+  Rng rng(2);
+  const int n = 128;
+  const int members = static_cast<int>(state.range(0));
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) labels[i] = i % 2;
+  std::vector<ProbaMatrix> library(members);
+  for (auto& proba : library) {
+    proba.resize(n);
+    for (auto& row : proba) {
+      const double p = rng.NextDouble();
+      row = {p, 1.0 - p};
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CaruanaEnsembleSelection(library, labels, 2, CaruanaOptions{}));
+  }
+}
+BENCHMARK(BM_CaruanaSelection)->Arg(8)->Arg(32);
+
+void BM_CamlFullRun(benchmark::State& state) {
+  const Dataset data = BenchData(260, 12, 2);
+  for (auto _ : state) {
+    Ctx c;
+    CamlSystem caml;
+    AutoMlOptions options;
+    options.search_budget_seconds = 2.0;
+    options.seed = 7;
+    benchmark::DoNotOptimize(caml.Fit(data, options, &c.ctx));
+  }
+}
+BENCHMARK(BM_CamlFullRun);
+
+void BM_EnergyMeterOverhead(benchmark::State& state) {
+  Ctx c;
+  EnergyMeter meter(&c.model);
+  meter.Start(0.0);
+  c.ctx.SetMeter(&meter);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.ctx.ChargeCpu(100.0, 64.0));
+  }
+}
+BENCHMARK(BM_EnergyMeterOverhead);
+
+}  // namespace
+}  // namespace green

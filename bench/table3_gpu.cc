@@ -1,0 +1,108 @@
+// Table 3: experiments with and without GPU acceleration. For AutoGluon
+// and TabPFN we report GPU-machine / CPU-machine quotients for execution
+// and inference (energy and time). Paper: TabPFN inference is ~8x cheaper
+// and ~16x faster on the GPU; AutoGluon gets WORSE on both stages because
+// its models cannot use the GPU, which idles and burns power.
+
+#include <cstdio>
+
+#include "green/bench_util/aggregate.h"
+#include "green/bench_util/experiment.h"
+#include "green/bench_util/table_printer.h"
+#include "green/common/stringutil.h"
+#include "green/ml/metrics.h"
+#include "green/table/split.h"
+
+namespace green {
+namespace {
+
+struct StageNumbers {
+  double exec_kwh = 0.0;
+  double exec_seconds = 0.0;
+  double infer_kwh = 0.0;
+  double infer_seconds = 0.0;
+};
+
+Result<StageNumbers> Measure(ExperimentRunner* runner,
+                             const MachineModel& machine,
+                             const std::string& system_name,
+                             const ExperimentConfig& config) {
+  EnergyModel energy_model(machine);
+  StageNumbers total;
+  int n = 0;
+  for (const Dataset& dataset : runner->suite()) {
+    for (int rep = 0; rep < config.repetitions; ++rep) {
+      GREEN_ASSIGN_OR_RETURN(
+          std::unique_ptr<AutoMlSystem> system,
+          runner->MakeSystem(system_name, 300.0));
+      VirtualClock clock;
+      ExecutionContext ctx(&clock, &energy_model, config.cores);
+      Rng rng(HashCombine(config.seed, rep + 3));
+      TrainTestData data =
+          Materialize(dataset, StratifiedSplit(dataset, 0.66, &rng));
+      AutoMlOptions options;
+      options.search_budget_seconds = 300.0 * config.budget_scale;
+      options.seed = HashCombine(config.seed, rep + 5);
+      auto run = system->Fit(data.train, options, &ctx);
+      if (!run.ok()) continue;
+      EnergyMeter meter(&energy_model);
+      meter.Start(clock.Now());
+      ctx.SetMeter(&meter);
+      const double infer_start = clock.Now();
+      if (!run->artifact.Predict(data.test, &ctx).ok()) continue;
+      const EnergyReading inference = meter.Stop(clock.Now());
+      total.exec_kwh += run->execution.kwh();
+      total.exec_seconds += run->actual_seconds;
+      total.infer_kwh += inference.kwh();
+      total.infer_seconds += clock.Now() - infer_start;
+      ++n;
+    }
+  }
+  if (n == 0) return Status::Internal("no successful runs");
+  total.exec_kwh /= n;
+  total.exec_seconds /= n;
+  total.infer_kwh /= n;
+  total.infer_seconds /= n;
+  return total;
+}
+
+int Main() {
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  if (config.dataset_limit == 0 || config.dataset_limit > 5) {
+    config.dataset_limit = 5;
+  }
+  ExperimentRunner runner(config);
+
+  PrintBanner(
+      "Table 3: GPU/CPU quotients per metric (green in the paper = "
+      "GPU better, i.e. ratio < 1)");
+  TablePrinter table({"system", "exec energy", "exec time",
+                      "inference energy", "inference time"});
+  for (const std::string& system : {"autogluon", "tabpfn"}) {
+    auto cpu = Measure(&runner, MachineModel::XeonGold6132(), system,
+                       config);
+    auto gpu = Measure(&runner, MachineModel::GpuNodeT4(), system,
+                       config);
+    if (!cpu.ok() || !gpu.ok()) {
+      std::fprintf(stderr, "measurement failed for %s\n",
+                   system.c_str());
+      continue;
+    }
+    table.AddRow(
+        {system, StrFormat("%.2f", gpu->exec_kwh / cpu->exec_kwh),
+         StrFormat("%.2f", gpu->exec_seconds / cpu->exec_seconds),
+         StrFormat("%.2f", gpu->infer_kwh / cpu->infer_kwh),
+         StrFormat("%.2f", gpu->infer_seconds / cpu->infer_seconds)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper values: AutoGluon 1.35 / 1.03 / 2.39 / 1.96 (GPU worse "
+      "everywhere); TabPFN 1.37 / 0.96 / 0.13 / 0.07 (GPU slashes "
+      "inference).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace green
+
+int main() { return green::Main(); }

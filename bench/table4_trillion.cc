@@ -1,0 +1,89 @@
+// Table 4: the cost of one trillion predictions per AutoML system — the
+// Meta-scale workload example. For each system we take the
+// highest-accuracy configuration from the Fig. 3 sweep and scale its
+// per-instance inference energy to 10^12 predictions, converting to kg
+// CO2 (0.222 kg/kWh, Germany) and EUR (0.20 EUR/kWh).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "green/bench_util/aggregate.h"
+#include "green/bench_util/experiment.h"
+#include "green/bench_util/table_printer.h"
+#include "green/common/stringutil.h"
+#include "green/energy/co2.h"
+
+namespace green {
+namespace {
+
+int Main() {
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  ExperimentRunner runner(config);
+  const std::vector<std::string> systems = {
+      "tabpfn",       "autogluon",    "autosklearn1", "autosklearn2",
+      "caml",         "tpot",         "flaml"};
+  auto records = runner.Sweep(systems, config.paper_budgets);
+  if (!records.ok()) return 1;
+
+  const EmissionFactors factors = EmissionFactors::Germany2023();
+  constexpr double kTrillion = 1e12;
+
+  struct Row {
+    std::string system;
+    double kwh;
+  };
+  std::vector<Row> rows;
+  for (const std::string& system : DistinctSystems(*records)) {
+    // Pick the budget with the highest mean accuracy (the paper uses the
+    // best-performing model per system).
+    double best_acc = -1.0;
+    double best_inference = 0.0;
+    for (double budget : DistinctBudgets(*records, system)) {
+      const auto cell = Filter(*records, system, budget);
+      const double acc =
+          BootstrapAcrossDatasets(
+              cell,
+              [](const RunRecord& r) {
+                return r.test_balanced_accuracy;
+              },
+              200, 1)
+              .mean;
+      const double inference =
+          BootstrapAcrossDatasets(
+              cell,
+              [](const RunRecord& r) {
+                return r.inference_kwh_per_instance;
+              },
+              200, 2)
+              .mean;
+      if (acc > best_acc) {
+        best_acc = acc;
+        best_inference = inference;
+      }
+    }
+    rows.push_back({system, best_inference * kTrillion});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.kwh > b.kwh; });
+
+  PrintBanner("Table 4: cost of 1 trillion predictions");
+  TablePrinter table({"AutoML", "Energy (kWh)", "CO2 (kg)", "Cost (EUR)"});
+  for (const Row& row : rows) {
+    const ImpactEstimate impact = EstimateImpact(row.kwh, factors);
+    table.AddRow({row.system,
+                  FormatWithCommas(static_cast<int64_t>(impact.kwh)),
+                  FormatWithCommas(static_cast<int64_t>(impact.kg_co2)),
+                  FormatWithCommas(static_cast<int64_t>(impact.eur))});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: TabPFN by far the most expensive (404,649 kWh), "
+      "ensembling systems next, single-model searchers (CAML/TPOT/FLAML) "
+      "orders of magnitude cheaper.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace green
+
+int main() { return green::Main(); }

@@ -1,0 +1,70 @@
+// Table 6: how often AutoML systems achieve WORSE accuracy with 5 minutes
+// than with 1 minute of search — the overfitting count motivating early
+// stopping (the paper finds up to 11/39 datasets, mostly small ones).
+
+#include <cstdio>
+#include <map>
+
+#include "green/bench_util/aggregate.h"
+#include "green/bench_util/experiment.h"
+#include "green/bench_util/table_printer.h"
+#include "green/common/stringutil.h"
+
+namespace green {
+namespace {
+
+int Main() {
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  ExperimentRunner runner(config);
+  const std::vector<std::string> systems = {"caml", "flaml", "autogluon",
+                                            "autosklearn1", "tpot"};
+  auto records = runner.Sweep(systems, {60.0, 300.0});
+  if (!records.ok()) return 1;
+
+  PrintBanner(
+      "Table 6: datasets where 5min accuracy < 1min accuracy "
+      "(overfitting / no early stopping)");
+  TablePrinter table({"system", "overfitted datasets", "of", "worst set"});
+  for (const std::string& system : DistinctSystems(*records)) {
+    // Mean accuracy per dataset per budget.
+    std::map<std::string, std::map<double, std::vector<double>>> per_set;
+    for (const RunRecord& r : *records) {
+      if (r.system != system) continue;
+      per_set[r.dataset][r.paper_budget_seconds].push_back(
+          r.test_balanced_accuracy);
+    }
+    int overfitted = 0;
+    int total = 0;
+    std::string worst;
+    double worst_gap = 0.0;
+    for (const auto& [dataset, by_budget] : per_set) {
+      auto at_1m = by_budget.find(60.0);
+      auto at_5m = by_budget.find(300.0);
+      if (at_1m == by_budget.end() || at_5m == by_budget.end()) continue;
+      ++total;
+      const double gap = ComputeStats(at_1m->second).mean -
+                         ComputeStats(at_5m->second).mean;
+      if (gap > 1e-9) {
+        ++overfitted;
+        if (gap > worst_gap) {
+          worst_gap = gap;
+          worst = dataset;
+        }
+      }
+    }
+    table.AddRow({system, StrFormat("%d", overfitted),
+                  StrFormat("%d", total),
+                  worst.empty() ? "-" : worst});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: every system overfits on SOME datasets (up to "
+      "11/39), concentrated on the small (<3k row) tasks — early "
+      "stopping would save that energy outright.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace green
+
+int main() { return green::Main(); }

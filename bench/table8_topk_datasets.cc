@@ -1,0 +1,74 @@
+// Table 8: tuning quality/cost for different numbers of top-k
+// representative datasets (paper: k in {10, 20, 40} at 300 BO iterations;
+// more datasets generalize better but cost linearly more energy/time).
+// The fast profile scales k and the iteration count down proportionally.
+
+#include <cstdio>
+
+#include "green/bench_util/aggregate.h"
+#include "green/bench_util/experiment.h"
+#include "green/bench_util/table_printer.h"
+#include "green/common/stringutil.h"
+#include "green/data/meta_corpus.h"
+#include "green/metaopt/automl_tuner.h"
+
+namespace green {
+namespace {
+
+int Main() {
+  ExperimentConfig config = ExperimentConfig::FromEnv();
+  const bool full = config.repetitions >= 10;
+
+  MetaCorpusOptions corpus_options;
+  corpus_options.num_datasets = full ? 124 : 24;
+  SimulationProfile corpus_profile = config.profile;
+  if (!full) corpus_profile.max_rows = 400;
+  auto corpus = GenerateMetaCorpus(corpus_options, corpus_profile);
+  if (!corpus.ok()) return 1;
+
+  const std::vector<int> top_ks =
+      full ? std::vector<int>{10, 20, 40} : std::vector<int>{2, 4, 8};
+  const int iterations = full ? 300 : 8;
+
+  PrintBanner(StrFormat(
+      "Table 8: tuning with different top-k representative datasets "
+      "(10s budget, %d BO iterations)", iterations));
+  TablePrinter table({"top-k datasets", "mean bal.acc on tuning tasks",
+                      "energy (kWh)", "virtual time (h)"});
+  EnergyModel energy_model(config.machine);
+  for (int k : top_ks) {
+    AutoMlTunerOptions options;
+    options.search_time_seconds = 10.0 * config.budget_scale;
+    options.bo_iterations = iterations;
+    options.top_k_datasets = k;
+    options.repetitions = full ? 2 : 1;
+    options.seed = config.seed;
+    AutoMlTuner tuner(options);
+    VirtualClock clock;
+    ExecutionContext ctx(&clock, &energy_model, config.cores);
+    auto result = tuner.Tune(*corpus, &ctx);
+    if (!result.ok()) {
+      std::fprintf(stderr, "tuning failed for k=%d\n", k);
+      continue;
+    }
+    table.AddRow(
+        {StrFormat("%d", k),
+         StrFormat("%.2f%%", 100.0 * result->best_mean_accuracy),
+         StrFormat("%.3f",
+                   result->development.kwh() / config.budget_scale),
+         StrFormat("%.2f", result->development_seconds /
+                               config.budget_scale / 3600.0)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: accuracy rises then saturates with k while energy "
+      "and time grow roughly linearly — k=20 was the paper's "
+      "accuracy/cost sweet spot (68.6%% -> 73.5%% from k=10 to 20, flat "
+      "to k=40 at double the energy).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace green
+
+int main() { return green::Main(); }

@@ -1,0 +1,133 @@
+// Deployment planning for an inference-heavy workload — the paper's
+// fraud-detection motivating scenario ("running a fraud detection model
+// on millions of bank transactions might require a focus on inference
+// energy consumption").
+//
+// This example compares candidate AutoML systems for a workload that
+// trains once and then scores 50 million transactions per day, using the
+// guideline (Fig. 8) and the per-system energy profile, and shows how a
+// CAML inference-time constraint changes the yearly footprint.
+
+#include <cstdio>
+
+#include "green/automl/caml_system.h"
+#include "green/automl/flaml_system.h"
+#include "green/automl/gluon_system.h"
+#include "green/automl/guideline.h"
+#include "green/data/synthetic.h"
+#include "green/energy/co2.h"
+#include "green/ml/metrics.h"
+#include "green/table/split.h"
+
+namespace {
+
+struct Candidate {
+  std::string name;
+  double accuracy = 0.0;
+  double execution_kwh = 0.0;
+  double inference_kwh_per_instance = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace green;  // NOLINT: example brevity.
+
+  // A transactions-like table: wide-ish, imbalanced binary labels.
+  SyntheticSpec spec;
+  spec.name = "transactions";
+  spec.num_rows = 800;
+  spec.num_features = 16;
+  spec.num_informative = 10;
+  spec.num_categorical = 5;
+  spec.num_classes = 2;
+  spec.separation = 2.0;
+  spec.label_noise = 0.08;
+  spec.seed = 77;
+  auto dataset = GenerateSynthetic(spec);
+  if (!dataset.ok()) return 1;
+  Rng rng(3);
+  TrainTestData data =
+      Materialize(*dataset, StratifiedSplit(*dataset, 0.66, &rng));
+
+  const MachineModel machine = MachineModel::XeonGold6132();
+  EnergyModel energy_model(machine);
+
+  // The guideline's advice for this shape of problem.
+  GuidelineQuery query;
+  query.search_budget_seconds = 300.0;
+  query.priority = GuidelineQuery::Priority::kFastInference;
+  const GuidelineRecommendation recommendation = RecommendSystem(query);
+  std::printf("guideline: use %s — %s\n\n",
+              recommendation.system.c_str(),
+              recommendation.rationale.c_str());
+
+  // Measure three candidates (plus a constrained CAML variant).
+  auto measure = [&](AutoMlSystem* system, const AutoMlOptions& options,
+                     const char* label) -> Candidate {
+    Candidate out;
+    out.name = label;
+    VirtualClock clock;
+    ExecutionContext ctx(&clock, &energy_model, 1);
+    auto run = system->Fit(data.train, options, &ctx);
+    if (!run.ok()) return out;
+    EnergyMeter meter(&energy_model);
+    meter.Start(clock.Now());
+    ctx.SetMeter(&meter);
+    auto preds = run->artifact.Predict(data.test, &ctx);
+    const EnergyReading inference = meter.Stop(clock.Now());
+    if (!preds.ok()) return out;
+    out.accuracy = BalancedAccuracy(data.test.labels(), preds.value(), 2);
+    out.execution_kwh = run->execution.kwh();
+    out.inference_kwh_per_instance =
+        inference.kwh() / static_cast<double>(data.test.num_rows());
+    return out;
+  };
+
+  AutoMlOptions options;
+  options.search_budget_seconds = 12.0;
+  options.seed = 5;
+
+  std::vector<Candidate> candidates;
+  {
+    FlamlSystem flaml;
+    candidates.push_back(measure(&flaml, options, "flaml"));
+  }
+  {
+    CamlSystem caml;
+    candidates.push_back(measure(&caml, options, "caml"));
+  }
+  {
+    CamlSystem caml;
+    AutoMlOptions constrained = options;
+    constrained.max_inference_seconds_per_row = 5e-4;
+    candidates.push_back(
+        measure(&caml, constrained, "caml (inference<=0.5ms)"));
+  }
+  {
+    GluonSystem gluon;
+    candidates.push_back(measure(&gluon, options, "autogluon"));
+  }
+
+  // Yearly footprint at 50M predictions/day.
+  const double predictions_per_year = 50e6 * 365.0;
+  const EmissionFactors factors = EmissionFactors::Germany2023();
+  std::printf(
+      "%-24s %8s %14s %18s %14s %12s\n", "system", "bal.acc",
+      "exec kWh", "infer kWh/inst", "kWh/year", "tCO2/year");
+  for (const Candidate& c : candidates) {
+    const double yearly_kwh =
+        c.execution_kwh +
+        predictions_per_year * c.inference_kwh_per_instance;
+    const ImpactEstimate impact = EstimateImpact(yearly_kwh, factors);
+    std::printf("%-24s %8.3f %14.4e %18.4e %14.1f %12.2f\n",
+                c.name.c_str(), c.accuracy, c.execution_kwh,
+                c.inference_kwh_per_instance, impact.kwh,
+                impact.kg_co2 / 1000.0);
+  }
+  std::printf(
+      "\nAt this prediction volume the inference term dominates "
+      "completely — exactly the regime where the paper recommends "
+      "FLAML or constraint-bounded CAML over ensembles.\n");
+  return 0;
+}

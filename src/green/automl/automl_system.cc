@@ -1,0 +1,60 @@
+#include "green/automl/automl_system.h"
+
+#include "green/common/mathutil.h"
+#include "green/ml/metrics.h"
+
+namespace green {
+
+Result<EvaluatedPipeline> TrainAndScore(const PipelineConfig& config,
+                                        const Dataset& fit_data,
+                                        const Dataset& val_data,
+                                        ExecutionContext* ctx) {
+  GREEN_ASSIGN_OR_RETURN(Pipeline pipeline, BuildPipeline(config));
+  GREEN_RETURN_IF_ERROR(pipeline.Fit(fit_data, ctx));
+
+  EvaluatedPipeline out;
+  out.pipeline = std::make_shared<Pipeline>(std::move(pipeline));
+  GREEN_ASSIGN_OR_RETURN(out.val_proba,
+                         out.pipeline->PredictProba(val_data, ctx));
+  std::vector<int> preds(out.val_proba.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    preds[i] = static_cast<int>(ArgMax(out.val_proba[i]));
+  }
+  out.val_score =
+      BalancedAccuracy(val_data.labels(), preds, val_data.num_classes());
+  return out;
+}
+
+double EstimateInferenceSecondsPerRow(const Pipeline& pipeline,
+                                      size_t raw_num_features,
+                                      const ExecutionContext& ctx) {
+  const double flops = pipeline.InferenceFlopsPerRow(raw_num_features);
+  const double throughput =
+      ctx.model()->machine().Throughput(Device::kCpu, 1);
+  return flops / throughput;
+}
+
+double EstimateTrainSeconds(const PipelineConfig& config, size_t rows,
+                            size_t features, int classes,
+                            const ExecutionContext& ctx) {
+  const double flops =
+      EstimateTrainCost(config, rows, features, classes);
+  const double throughput =
+      ctx.model()->machine().Throughput(Device::kCpu, ctx.cores());
+  return flops / throughput;
+}
+
+double EstimateEvaluationSeconds(const PipelineConfig& config,
+                                 size_t train_rows, size_t val_rows,
+                                 size_t features, int classes,
+                                 const ExecutionContext& ctx) {
+  const double flops =
+      EstimateTrainCost(config, train_rows, features, classes) +
+      EstimatePredictCost(config, train_rows, val_rows, features,
+                          classes);
+  const double throughput =
+      ctx.model()->machine().Throughput(Device::kCpu, ctx.cores());
+  return flops / throughput;
+}
+
+}  // namespace green

@@ -1,0 +1,128 @@
+#ifndef GREEN_AUTOML_AUTOML_SYSTEM_H_
+#define GREEN_AUTOML_AUTOML_SYSTEM_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "green/automl/fitted_artifact.h"
+#include "green/energy/energy_meter.h"
+#include "green/ml/model_registry.h"
+#include "green/sim/budget_policy.h"
+#include "green/sim/execution_context.h"
+#include "green/table/dataset.h"
+
+namespace green {
+
+/// Options common to all systems (each system additionally has its own
+/// parameter struct — those are the "AutoML system parameters" the
+/// paper's development stage tunes).
+struct AutoMlOptions {
+  /// The search-time termination criterion of the paper's §3.2. How
+  /// strictly it is honoured depends on the system's BudgetPolicy
+  /// (Table 7).
+  double search_budget_seconds = 60.0;
+  int cores = 1;
+  uint64_t seed = 1;
+  /// CAML-style ML-application constraint: maximum admissible inference
+  /// time per instance (seconds); infinity disables it.
+  double max_inference_seconds_per_row =
+      std::numeric_limits<double>::infinity();
+};
+
+/// Outcome of one AutoML execution.
+struct AutoMlRunResult {
+  FittedArtifact artifact;
+  /// Energy metered over the whole execution, including any overrun
+  /// beyond the configured budget.
+  EnergyReading execution;
+  double configured_budget_seconds = 0.0;
+  double actual_seconds = 0.0;
+  int pipelines_evaluated = 0;
+  double best_validation_score = 0.0;
+};
+
+/// Interface every miniature AutoML system implements. Fit() meters its
+/// own execution energy (attaching a meter to the context), trains on
+/// `train`, and returns a deployable artifact.
+class AutoMlSystem {
+ public:
+  virtual ~AutoMlSystem() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Smallest supported PAPER-scale budget; e.g. AutoSklearn has no 10 s
+  /// mode and TPOT only supports minutes (the gaps in the paper's Fig. 3
+  /// series). Metadata for the experiment harness, which gates budget
+  /// points before scaling them to virtual seconds.
+  virtual double MinBudgetSeconds() const { return 0.0; }
+
+  virtual BudgetPolicyKind budget_policy() const = 0;
+
+  virtual Result<AutoMlRunResult> Fit(const Dataset& train,
+                                      const AutoMlOptions& options,
+                                      ExecutionContext* ctx) = 0;
+};
+
+/// One evaluated candidate during search: the fitted pipeline plus its
+/// holdout score and probabilities (kept for post-hoc ensembling).
+struct EvaluatedPipeline {
+  std::shared_ptr<Pipeline> pipeline;
+  double val_score = 0.0;
+  ProbaMatrix val_proba;
+};
+
+/// Builds a pipeline from `config`, fits it on `fit_data`, and scores
+/// balanced accuracy on `val_data`. All work is charged to `ctx`.
+Result<EvaluatedPipeline> TrainAndScore(const PipelineConfig& config,
+                                        const Dataset& fit_data,
+                                        const Dataset& val_data,
+                                        ExecutionContext* ctx);
+
+/// Estimated virtual seconds to score one row with `pipeline` on the
+/// context's machine — the quantity CAML's inference constraint bounds.
+double EstimateInferenceSecondsPerRow(const Pipeline& pipeline,
+                                      size_t raw_num_features,
+                                      const ExecutionContext& ctx);
+
+/// Estimated virtual seconds to train `config` on (rows x features).
+double EstimateTrainSeconds(const PipelineConfig& config, size_t rows,
+                            size_t features, int classes,
+                            const ExecutionContext& ctx);
+
+/// Estimated virtual seconds for one full evaluation: training on
+/// `train_rows` plus scoring `val_rows` (which dominates for
+/// memory-based models like kNN). Budget policies gate on this.
+double EstimateEvaluationSeconds(const PipelineConfig& config,
+                                 size_t train_rows, size_t val_rows,
+                                 size_t features, int classes,
+                                 const ExecutionContext& ctx);
+
+/// Meters `ctx` around a callable; restores any previously attached meter.
+class ScopedMeter {
+ public:
+  ScopedMeter(ExecutionContext* ctx, EnergyMeter* meter)
+      : ctx_(ctx), previous_(ctx->meter()) {
+    meter->Start(ctx->Now());
+    ctx_->SetMeter(meter);
+    meter_ = meter;
+  }
+  ~ScopedMeter() { ctx_->SetMeter(previous_); }
+
+  ScopedMeter(const ScopedMeter&) = delete;
+  ScopedMeter& operator=(const ScopedMeter&) = delete;
+
+  EnergyReading Stop() {
+    ctx_->SetMeter(previous_);
+    return meter_->Stop(ctx_->Now());
+  }
+
+ private:
+  ExecutionContext* ctx_;
+  EnergyMeter* previous_;
+  EnergyMeter* meter_ = nullptr;
+};
+
+}  // namespace green
+
+#endif  // GREEN_AUTOML_AUTOML_SYSTEM_H_

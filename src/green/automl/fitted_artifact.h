@@ -1,0 +1,67 @@
+#ifndef GREEN_AUTOML_FITTED_ARTIFACT_H_
+#define GREEN_AUTOML_FITTED_ARTIFACT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "green/ml/pipeline.h"
+
+namespace green {
+
+/// The deployable output of an AutoML run. Three shapes cover all the
+/// systems in the paper:
+///   * single  — one pipeline (CAML, FLAML, TPOT, TabPFN);
+///   * weighted — Caruana-weighted probability blend (AutoSklearn);
+///   * stacked — bagged base layer whose out-of-fold probabilities feed a
+///     meta layer, itself Caruana-weighted (AutoGluon).
+/// Inference energy follows directly from shape: every member pipeline
+/// charges its own work, which is what produces the paper's
+/// order-of-magnitude gap between ensembles and single models (O1).
+class FittedArtifact {
+ public:
+  /// One logical ensemble member: `folds` holds either a single pipeline
+  /// (plain member / refit member) or the k bagged fold-pipelines whose
+  /// probabilities are averaged at inference (AutoGluon without refit).
+  struct Member {
+    std::vector<std::shared_ptr<const Pipeline>> folds;
+    double weight = 1.0;
+  };
+
+  FittedArtifact() = default;
+
+  static FittedArtifact Single(std::shared_ptr<const Pipeline> pipeline);
+  static FittedArtifact Weighted(std::vector<Member> members);
+  /// `base` members produce class probabilities that are appended to the
+  /// raw features before `meta` members score the instance.
+  static FittedArtifact Stacked(std::vector<Member> base,
+                                std::vector<Member> meta);
+
+  bool empty() const { return base_.empty(); }
+  bool stacked() const { return !meta_.empty(); }
+
+  /// Total pipelines that execute per prediction (all folds, all layers).
+  size_t NumPipelines() const;
+
+  Result<ProbaMatrix> PredictProba(const Dataset& data,
+                                   ExecutionContext* ctx) const;
+  Result<std::vector<int>> Predict(const Dataset& data,
+                                   ExecutionContext* ctx) const;
+
+  /// Abstract inference work per row — the quantity CAML's constraint
+  /// bounds and Table 4's trillion-prediction projection scales up.
+  double InferenceFlopsPerRow(size_t raw_num_features) const;
+
+  std::string Describe() const;
+
+ private:
+  Result<ProbaMatrix> MemberProba(const Member& member, const Dataset& data,
+                                  ExecutionContext* ctx) const;
+
+  std::vector<Member> base_;
+  std::vector<Member> meta_;
+};
+
+}  // namespace green
+
+#endif  // GREEN_AUTOML_FITTED_ARTIFACT_H_

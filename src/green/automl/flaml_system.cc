@@ -1,0 +1,175 @@
+#include "green/automl/flaml_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "green/common/logging.h"
+#include "green/table/split.h"
+
+namespace green {
+
+namespace {
+
+/// Learner ladder, cheapest first, with FLAML-style low-cost starting
+/// points (e.g. "a random forest with 5 trees and at most 10 leaves").
+struct Rung {
+  const char* model;
+  std::map<std::string, double> start_params;
+};
+
+const std::vector<Rung>& LearnerLadder() {
+  static const std::vector<Rung>* kLadder = new std::vector<Rung>{
+      {"naive_bayes", {}},
+      {"decision_tree", {{"max_depth", 4}}},
+      {"logistic_regression", {{"epochs", 8}}},
+      {"extra_trees", {{"num_trees", 5}, {"max_depth", 4}}},
+      {"random_forest", {{"num_trees", 5}, {"max_depth", 4}}},
+      {"gradient_boosting",
+       {{"num_rounds", 8}, {"max_depth", 2}, {"learning_rate", 0.2}}},
+  };
+  return *kLadder;
+}
+
+/// Local hyperparameter mutation: multiplicative jitter on the current
+/// numeric parameters (FLAML's randomized directional search, reduced to
+/// its cost-aware essence).
+std::map<std::string, double> Mutate(
+    const std::map<std::string, double>& params, Rng* rng,
+    bool toward_complexity) {
+  std::map<std::string, double> out = params;
+  for (auto& [key, value] : out) {
+    double factor = std::exp(rng->NextGaussian() * 0.25);
+    if (toward_complexity && (key == "num_trees" || key == "max_depth" ||
+                              key == "num_rounds" || key == "epochs")) {
+      factor = std::max(factor, 1.0 + rng->NextDouble());
+    }
+    double v = value * factor;
+    if (key == "max_depth") v = std::clamp(v, 2.0, 16.0);
+    if (key == "num_trees") v = std::clamp(v, 3.0, 64.0);
+    if (key == "num_rounds") v = std::clamp(v, 4.0, 80.0);
+    if (key == "epochs") v = std::clamp(v, 4.0, 60.0);
+    if (key == "learning_rate") v = std::clamp(v, 0.02, 0.5);
+    out[key] = v;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
+                                         const AutoMlOptions& options,
+                                         ExecutionContext* ctx) {
+  if (train.num_rows() < 4) {
+    return Status::InvalidArgument("flaml: too few rows");
+  }
+  EnergyMeter meter(ctx->model());
+  ScopedMeter scope(ctx, &meter);
+  const double start = ctx->Now();
+  const double deadline = start + options.search_budget_seconds;
+  ctx->SetDeadline(deadline);
+  const BudgetPolicy policy(budget_policy());
+
+  Rng rng(options.seed);
+  TrainTestIndices split =
+      StratifiedSplit(train, 1.0 - params_.holdout_fraction, &rng);
+  TrainTestData holdout = Materialize(train, split);
+
+  AutoMlRunResult result;
+  result.configured_budget_seconds = options.search_budget_seconds;
+
+  // Wide-data feature pruning: enabled automatically for very wide
+  // tasks, carried by every candidate pipeline.
+  const bool prune_features =
+      train.num_features() >
+      static_cast<size_t>(params_.wide_data_feature_cap);
+
+  size_t ladder_index = 0;
+  size_t sample_size =
+      std::min(params_.initial_sample, holdout.train.num_rows());
+  std::map<std::string, double> current_params =
+      LearnerLadder()[0].start_params;
+
+  std::shared_ptr<Pipeline> best_pipeline;
+  double best_score = -1.0;
+  double best_cost = 0.0;
+  int stall = 0;
+  int iteration = 0;
+
+  while (policy.MayStartEvaluation(ctx->Now(), deadline, 0.0)) {
+    const Rung& rung = LearnerLadder()[ladder_index];
+    PipelineConfig config;
+    config.model = rung.model;
+    config.params = iteration == 0
+                        ? rung.start_params
+                        : Mutate(current_params, &rng,
+                                 /*toward_complexity=*/stall > 0);
+    config.scaler = "standard";
+    if (prune_features) {
+      config.select_k_best = params_.wide_data_feature_cap;
+    }
+    config.seed = HashCombine(options.seed, iteration + 1);
+    ++iteration;
+
+    Dataset stage =
+        sample_size < holdout.train.num_rows()
+            ? holdout.train.Subset(
+                  SampleRows(holdout.train, sample_size, &rng))
+            : holdout.train;
+    auto evaluated = TrainAndScore(config, stage, holdout.test, ctx);
+    if (!evaluated.ok()) continue;
+    ++result.pipelines_evaluated;
+
+    const double score = evaluated.value().val_score;
+    const double cost =
+        evaluated.value().pipeline->InferenceFlopsPerRow(
+            train.num_features());
+    // Accept if better, or equal quality at lower inference cost.
+    const bool improved =
+        score > best_score + 1e-9 ||
+        (score > best_score - 1e-9 && cost < best_cost);
+    if (improved) {
+      best_score = score;
+      best_cost = cost;
+      best_pipeline = evaluated.value().pipeline;
+      current_params = config.params;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+
+    // Escalation: first grow the sample, then move up the ladder.
+    if (stall >= params_.patience) {
+      stall = 0;
+      if (sample_size < holdout.train.num_rows()) {
+        sample_size = std::min(
+            holdout.train.num_rows(),
+            static_cast<size_t>(static_cast<double>(sample_size) *
+                                params_.sample_growth));
+      } else if (ladder_index + 1 < LearnerLadder().size()) {
+        ++ladder_index;
+        current_params = LearnerLadder()[ladder_index].start_params;
+      }
+    }
+  }
+
+  if (best_pipeline == nullptr) {
+    PipelineConfig fallback;
+    fallback.model = "naive_bayes";
+    fallback.seed = options.seed;
+    GREEN_ASSIGN_OR_RETURN(
+        EvaluatedPipeline evaluated,
+        TrainAndScore(fallback, holdout.train, holdout.test, ctx));
+    best_pipeline = evaluated.pipeline;
+    best_score = evaluated.val_score;
+    ++result.pipelines_evaluated;
+  }
+
+  ctx->ClearDeadline();
+  result.artifact = FittedArtifact::Single(best_pipeline);
+  result.best_validation_score = best_score;
+  result.execution = scope.Stop();
+  result.actual_seconds = ctx->Now() - start;
+  return result;
+}
+
+}  // namespace green

@@ -1,0 +1,79 @@
+#include "green/automl/guideline.h"
+
+namespace green {
+
+GuidelineRecommendation RecommendSystem(const GuidelineQuery& query) {
+  GuidelineRecommendation out;
+
+  // Branch 1: development resources + recurring executions -> tune the
+  // AutoML system parameters; the tuned system wins both execution and
+  // inference energy (Fig. 7).
+  if (query.has_development_resources &&
+      query.planned_executions >= kAmortizationRuns) {
+    out.system = "caml_tuned";
+    out.rationale =
+        "A tuned AutoML system needs the least energy for execution and "
+        "inference once the tuning cost amortizes over recurring runs.";
+    return out;
+  }
+
+  // Branch 2: tiny search budgets.
+  if (query.search_budget_seconds < 10.0) {
+    if (query.num_classes <= kTabPfnClassLimit) {
+      out.system = query.gpu_available ? "tabpfn(gpu)" : "tabpfn";
+      out.rationale =
+          "Zero-shot AutoML needs no search; with few classes TabPFN "
+          "delivers competitive accuracy instantly.";
+    } else {
+      out.system = "caml";
+      out.rationale =
+          "Beyond 10 classes TabPFN is unsupported; CAML's incremental "
+          "training finds pipelines even for very large datasets.";
+    }
+    return out;
+  }
+
+  // Branch 3: bigger budgets — decided by the user's priority.
+  switch (query.priority) {
+    case GuidelineQuery::Priority::kFastInference:
+      out.system = "flaml";
+      out.rationale =
+          "FLAML searches low-cost models first and yields the cheapest "
+          "inference at some accuracy cost.";
+      break;
+    case GuidelineQuery::Priority::kAccuracy:
+      out.system = "autogluon";
+      out.rationale =
+          "Stacked ensembling converges to the best predictive "
+          "performance, at an order of magnitude more inference energy.";
+      break;
+    case GuidelineQuery::Priority::kParetoOptimal:
+      out.system = "caml";
+      out.rationale =
+          "CAML's constraint-aware single-pipeline search sits on the "
+          "Pareto front between accuracy and inference cost.";
+      break;
+  }
+  return out;
+}
+
+std::string RenderGuidelineChart() {
+  return
+      "Fig. 8 — picking the most energy-efficient AutoML solution\n"
+      "\n"
+      "  [dev resources >1 machine-week AND >=885 planned runs?]\n"
+      "      |-- yes --> tune AutoML parameters (CAML(tuned))\n"
+      "      |-- no\n"
+      "          [search budget < 10 s?]\n"
+      "              |-- yes\n"
+      "              |     [<= 10 classes?]\n"
+      "              |         |-- yes --> TabPFN (GPU if available)\n"
+      "              |         |-- no  --> CAML (incremental training)\n"
+      "              |-- no\n"
+      "                  [priority?]\n"
+      "                      |-- fast inference  --> FLAML\n"
+      "                      |-- accuracy        --> AutoGluon\n"
+      "                      |-- Pareto-optimal  --> CAML\n";
+}
+
+}  // namespace green

@@ -1,0 +1,44 @@
+#ifndef GREEN_AUTOML_GUIDELINE_H_
+#define GREEN_AUTOML_GUIDELINE_H_
+
+#include <string>
+
+namespace green {
+
+/// Inputs to the paper's Fig. 8 decision flowchart.
+struct GuidelineQuery {
+  /// Access to large CPU resources for > a week AND thousands of planned
+  /// AutoML executions (the amortization precondition of §3.7).
+  bool has_development_resources = false;
+  int planned_executions = 1;
+  double search_budget_seconds = 60.0;
+  int num_classes = 2;
+  bool gpu_available = false;
+
+  enum class Priority { kFastInference, kAccuracy, kParetoOptimal };
+  Priority priority = Priority::kParetoOptimal;
+};
+
+/// Outcome: which system to use and why.
+struct GuidelineRecommendation {
+  std::string system;     ///< e.g. "caml_tuned", "tabpfn", "autogluon".
+  std::string rationale;  ///< One-sentence justification from the paper.
+};
+
+/// The number of executions after which tuning the AutoML system
+/// parameters amortizes (the paper's §3.7 measures ~885 runs).
+constexpr int kAmortizationRuns = 885;
+
+/// TabPFN's supported class limit; beyond it the flowchart picks CAML
+/// for small budgets.
+constexpr int kTabPfnClassLimit = 10;
+
+/// Evaluates the flowchart.
+GuidelineRecommendation RecommendSystem(const GuidelineQuery& query);
+
+/// Renders the full decision tree as ASCII (the Fig. 8 reproduction).
+std::string RenderGuidelineChart();
+
+}  // namespace green
+
+#endif  // GREEN_AUTOML_GUIDELINE_H_

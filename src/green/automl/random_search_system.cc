@@ -1,0 +1,90 @@
+#include "green/automl/random_search_system.h"
+
+#include <algorithm>
+
+#include "green/automl/search_model_space.h"
+#include "green/common/logging.h"
+#include "green/table/split.h"
+
+namespace green {
+
+Result<AutoMlRunResult> RandomSearchSystem::Fit(
+    const Dataset& train, const AutoMlOptions& options,
+    ExecutionContext* ctx) {
+  if (train.num_rows() < 4) {
+    return Status::InvalidArgument("random_search: too few rows");
+  }
+  EnergyMeter meter(ctx->model());
+  ScopedMeter scope(ctx, &meter);
+  const double start = ctx->Now();
+  const double deadline = start + options.search_budget_seconds;
+  ctx->SetDeadline(deadline);
+  const BudgetPolicy policy(budget_policy());
+
+  Rng rng(options.seed);
+  TrainTestIndices split =
+      StratifiedSplit(train, 1.0 - params_.holdout_fraction, &rng);
+  TrainTestData holdout = Materialize(train, split);
+
+  // The same space CAML searches, so the only difference is the strategy.
+  PipelineSpaceOptions space_options;
+  space_options.models = {"decision_tree", "random_forest",
+                          "extra_trees",   "gradient_boosting",
+                          "logistic_regression", "knn",
+                          "naive_bayes",   "mlp"};
+  PipelineSearchSpace space(space_options);
+
+  AutoMlRunResult result;
+  result.configured_budget_seconds = options.search_budget_seconds;
+
+  std::shared_ptr<Pipeline> best_pipeline;
+  double best_score = -1.0;
+  const double eval_time_cap =
+      params_.evaluation_fraction * options.search_budget_seconds;
+
+  int iteration = 0;
+  while (!ctx->DeadlineExceeded()) {
+    const PipelineConfig config = space.SampleConfig(
+        &rng, HashCombine(options.seed, ++iteration));
+    const double estimated =
+        1.4 * EstimateEvaluationSeconds(
+                  config, holdout.train.num_rows(),
+                  holdout.test.num_rows(), holdout.train.num_features(),
+                  holdout.train.num_classes(), *ctx);
+    if (estimated > eval_time_cap) {
+      ctx->ChargeCpu(500.0, 0.0, 0.2);  // Sampling bookkeeping.
+      continue;
+    }
+    if (!policy.MayStartEvaluation(ctx->Now(), deadline, estimated)) break;
+
+    auto evaluated =
+        TrainAndScore(config, holdout.train, holdout.test, ctx);
+    if (!evaluated.ok()) continue;
+    ++result.pipelines_evaluated;
+    if (evaluated.value().val_score > best_score) {
+      best_score = evaluated.value().val_score;
+      best_pipeline = evaluated.value().pipeline;
+    }
+  }
+
+  if (best_pipeline == nullptr) {
+    PipelineConfig fallback;
+    fallback.model = "naive_bayes";
+    fallback.seed = options.seed;
+    GREEN_ASSIGN_OR_RETURN(
+        EvaluatedPipeline evaluated,
+        TrainAndScore(fallback, holdout.train, holdout.test, ctx));
+    best_pipeline = evaluated.pipeline;
+    best_score = evaluated.val_score;
+    ++result.pipelines_evaluated;
+  }
+
+  ctx->ClearDeadline();
+  result.artifact = FittedArtifact::Single(best_pipeline);
+  result.best_validation_score = best_score;
+  result.execution = scope.Stop();
+  result.actual_seconds = ctx->Now() - start;
+  return result;
+}
+
+}  // namespace green

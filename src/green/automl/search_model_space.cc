@@ -1,0 +1,116 @@
+#include "green/automl/search_model_space.h"
+
+#include <cmath>
+
+#include "green/common/logging.h"
+
+namespace green {
+
+PipelineSearchSpace::PipelineSearchSpace(
+    const PipelineSpaceOptions& options)
+    : options_(options) {
+  GREEN_CHECK(!options_.models.empty());
+  space_.Add(ParamSpec::Categorical("model", options_.models));
+  // Union of model hyperparameters; decode applies only the relevant ones
+  // (the standard flattened encoding of a conditional space).
+  space_.Add(ParamSpec::Int("max_depth", 2, 16, /*log_scale=*/true));
+  space_.Add(ParamSpec::Int("num_trees", 4, 64, /*log_scale=*/true));
+  space_.Add(ParamSpec::Int("min_samples_leaf", 1, 16, /*log_scale=*/true));
+  space_.Add(
+      ParamSpec::Double("learning_rate", 0.02, 0.5, /*log_scale=*/true));
+  space_.Add(ParamSpec::Int("num_rounds", 5, 80, /*log_scale=*/true));
+  space_.Add(ParamSpec::Int("epochs", 5, 60, /*log_scale=*/true));
+  space_.Add(ParamSpec::Int("hidden_units", 8, 64, /*log_scale=*/true));
+  space_.Add(ParamSpec::Int("knn_k", 1, 25, /*log_scale=*/true));
+  space_.Add(ParamSpec::Double("max_features_fraction", 0.1, 1.0));
+  space_.Add(ParamSpec::Double("subsample", 0.5, 1.0));
+  if (options_.include_data_preprocessors) {
+    space_.Add(ParamSpec::Categorical("scaler",
+                                      {"none", "standard", "minmax"}));
+  }
+  if (options_.include_feature_preprocessors) {
+    space_.Add(ParamSpec::Categorical(
+        "feature_prep", {"none", "variance", "select_k", "pca",
+                         "binning"}));
+    space_.Add(ParamSpec::Double("select_fraction", 0.2, 1.0));
+  }
+}
+
+PipelineConfig PipelineSearchSpace::ToConfig(const ParamPoint& point,
+                                             uint64_t seed) const {
+  PipelineConfig config;
+  config.seed = seed;
+  config.model = point.choices.at("model");
+
+  auto value = [&](const char* name) { return point.values.at(name); };
+
+  if (config.model == "decision_tree") {
+    config.params["max_depth"] = value("max_depth");
+    config.params["min_samples_leaf"] = value("min_samples_leaf");
+    config.params["max_features_fraction"] =
+        value("max_features_fraction");
+  } else if (config.model == "random_forest" ||
+             config.model == "extra_trees") {
+    config.params["num_trees"] = value("num_trees");
+    config.params["max_depth"] = value("max_depth");
+    config.params["min_samples_leaf"] = value("min_samples_leaf");
+    config.params["max_features_fraction"] =
+        value("max_features_fraction");
+  } else if (config.model == "adaboost") {
+    config.params["num_rounds"] = value("num_rounds");
+    config.params["max_depth"] =
+        std::min(3.0, std::max(1.0, value("max_depth") / 4.0));
+    config.params["learning_rate"] = value("learning_rate") * 2.0;
+  } else if (config.model == "gradient_boosting") {
+    config.params["num_rounds"] = value("num_rounds");
+    config.params["max_depth"] =
+        std::min(4.0, std::max(2.0, value("max_depth") / 3.0));
+    config.params["learning_rate"] = value("learning_rate");
+    config.params["subsample"] = value("subsample");
+  } else if (config.model == "logistic_regression") {
+    config.params["epochs"] = value("epochs");
+    config.params["learning_rate"] = value("learning_rate");
+  } else if (config.model == "knn") {
+    config.params["k"] = value("knn_k");
+  } else if (config.model == "naive_bayes") {
+    // No tunables beyond smoothing; keep the default.
+  } else if (config.model == "mlp") {
+    config.params["hidden_units"] = value("hidden_units");
+    config.params["epochs"] = value("epochs");
+    config.params["learning_rate"] =
+        std::min(0.2, value("learning_rate"));
+  }
+
+  if (options_.include_data_preprocessors) {
+    config.scaler = point.choices.at("scaler");
+  } else {
+    config.scaler = "standard";
+  }
+  config.impute = true;
+  config.one_hot = true;
+
+  if (options_.include_feature_preprocessors) {
+    const std::string& prep = point.choices.at("feature_prep");
+    if (prep == "variance") {
+      config.variance_threshold = 1e-4;
+    } else if (prep == "pca") {
+      config.pca_components = std::max(
+          2, static_cast<int>(std::round(value("select_fraction") * 16)));
+    } else if (prep == "binning") {
+      config.quantile_binning = true;
+    } else if (prep == "select_k") {
+      // Fraction of (post-one-hot) columns; resolved against the input
+      // width at fit time via a generous constant basis.
+      config.select_k_best = std::max(
+          1, static_cast<int>(std::round(value("select_fraction") * 32)));
+    }
+  }
+  return config;
+}
+
+PipelineConfig PipelineSearchSpace::SampleConfig(Rng* rng,
+                                                 uint64_t seed) const {
+  return ToConfig(space_.Sample(rng), seed);
+}
+
+}  // namespace green

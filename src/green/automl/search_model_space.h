@@ -1,0 +1,47 @@
+#ifndef GREEN_AUTOML_SEARCH_MODEL_SPACE_H_
+#define GREEN_AUTOML_SEARCH_MODEL_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "green/ml/model_registry.h"
+#include "green/search/param_space.h"
+
+namespace green {
+
+/// Declarative description of a pipeline search space, realizing the
+/// paper's Table 1 differences:
+///   * ASKL searches data + feature preprocessors + models,
+///   * CAML searches data preprocessors + models (no feature prep.),
+///   * FLAML searches models only,
+///   * TPOT searches data/feature preprocessors + models.
+struct PipelineSpaceOptions {
+  std::vector<std::string> models;      ///< Allowed model families.
+  bool include_data_preprocessors = true;   ///< Scaler choice.
+  bool include_feature_preprocessors = false;  ///< Selection / variance.
+  uint64_t seed_base = 1;
+};
+
+/// Wraps a ParamSpace over pipeline configurations with decode logic.
+class PipelineSearchSpace {
+ public:
+  explicit PipelineSearchSpace(const PipelineSpaceOptions& options);
+
+  const ParamSpace& space() const { return space_; }
+  const PipelineSpaceOptions& options() const { return options_; }
+
+  /// Decodes a search point into a buildable pipeline config. `seed`
+  /// individualizes stochastic models per evaluation.
+  PipelineConfig ToConfig(const ParamPoint& point, uint64_t seed) const;
+
+  /// Uniformly samples a configuration.
+  PipelineConfig SampleConfig(Rng* rng, uint64_t seed) const;
+
+ private:
+  PipelineSpaceOptions options_;
+  ParamSpace space_;
+};
+
+}  // namespace green
+
+#endif  // GREEN_AUTOML_SEARCH_MODEL_SPACE_H_

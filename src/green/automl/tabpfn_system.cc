@@ -1,0 +1,38 @@
+#include "green/automl/tabpfn_system.h"
+
+#include "green/ml/metrics.h"
+#include "green/ml/preprocess/imputer.h"
+
+namespace green {
+
+Result<AutoMlRunResult> TabPfnSystem::Fit(const Dataset& train,
+                                          const AutoMlOptions& options,
+                                          ExecutionContext* ctx) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("tabpfn: empty training data");
+  }
+  EnergyMeter meter(ctx->model());
+  ScopedMeter scope(ctx, &meter);
+  const double start = ctx->Now();
+
+  // TabPFN consumes the raw table directly; only missing values need
+  // handling before the forward pass.
+  Pipeline pipeline;
+  pipeline.AddTransformer(std::make_unique<MeanModeImputer>());
+  pipeline.SetModel(std::make_unique<AttentionFewShot>(model_params_));
+  GREEN_RETURN_IF_ERROR(pipeline.Fit(train, ctx));
+
+  AutoMlRunResult result;
+  result.configured_budget_seconds = options.search_budget_seconds;
+  result.pipelines_evaluated = 1;
+  result.artifact = FittedArtifact::Single(
+      std::make_shared<Pipeline>(std::move(pipeline)));
+  // Zero search: there is no validation score to report; the paper's
+  // benchmarks score TabPFN on test data only.
+  result.best_validation_score = 0.0;
+  result.execution = scope.Stop();
+  result.actual_seconds = ctx->Now() - start;
+  return result;
+}
+
+}  // namespace green

@@ -1,0 +1,81 @@
+#include "green/bench_util/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "green/common/mathutil.h"
+
+namespace green {
+
+Stats ComputeStats(const std::vector<double>& values) {
+  Stats out;
+  out.n = values.size();
+  out.mean = Mean(values);
+  out.stddev = StdDev(values);
+  return out;
+}
+
+Stats BootstrapAcrossDatasets(
+    const std::vector<RunRecord>& records,
+    const std::function<double(const RunRecord&)>& metric,
+    int bootstrap_samples, uint64_t seed) {
+  // Group metric values by dataset.
+  std::map<std::string, std::vector<double>> by_dataset;
+  for (const RunRecord& record : records) {
+    by_dataset[record.dataset].push_back(metric(record));
+  }
+  if (by_dataset.empty()) return Stats{};
+
+  Rng rng(seed);
+  std::vector<double> bootstrap_means;
+  bootstrap_means.reserve(static_cast<size_t>(bootstrap_samples));
+  for (int b = 0; b < bootstrap_samples; ++b) {
+    double sum = 0.0;
+    for (const auto& [dataset, values] : by_dataset) {
+      sum += values[static_cast<size_t>(rng.NextBounded(values.size()))];
+    }
+    bootstrap_means.push_back(sum /
+                              static_cast<double>(by_dataset.size()));
+  }
+  return ComputeStats(bootstrap_means);
+}
+
+std::vector<RunRecord> Filter(const std::vector<RunRecord>& records,
+                              const std::string& system,
+                              double paper_budget) {
+  std::vector<RunRecord> out;
+  for (const RunRecord& record : records) {
+    if (record.system == system &&
+        std::fabs(record.paper_budget_seconds - paper_budget) < 1e-9) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> DistinctSystems(
+    const std::vector<RunRecord>& records) {
+  std::vector<std::string> out;
+  for (const RunRecord& record : records) {
+    if (std::find(out.begin(), out.end(), record.system) == out.end()) {
+      out.push_back(record.system);
+    }
+  }
+  return out;
+}
+
+std::vector<double> DistinctBudgets(const std::vector<RunRecord>& records,
+                                    const std::string& system) {
+  std::vector<double> out;
+  for (const RunRecord& record : records) {
+    if (record.system != system) continue;
+    if (std::find(out.begin(), out.end(),
+                  record.paper_budget_seconds) == out.end()) {
+      out.push_back(record.paper_budget_seconds);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace green

@@ -1,0 +1,45 @@
+#ifndef GREEN_BENCH_UTIL_AGGREGATE_H_
+#define GREEN_BENCH_UTIL_AGGREGATE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "green/bench_util/experiment.h"
+#include "green/common/rng.h"
+
+namespace green {
+
+/// Mean and sample standard deviation.
+struct Stats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t n = 0;
+};
+
+Stats ComputeStats(const std::vector<double>& values);
+
+/// The paper's uncertainty protocol: "report the average performance
+/// across datasets by repeatedly sampling one result out of N runs with
+/// replacement". Returns the bootstrap mean/stddev of the across-dataset
+/// average of `metric`.
+Stats BootstrapAcrossDatasets(
+    const std::vector<RunRecord>& records,
+    const std::function<double(const RunRecord&)>& metric,
+    int bootstrap_samples, uint64_t seed);
+
+/// Records filtered to one (system, budget) cell.
+std::vector<RunRecord> Filter(const std::vector<RunRecord>& records,
+                              const std::string& system,
+                              double paper_budget);
+
+/// Distinct (in insertion order) values of a record field.
+std::vector<std::string> DistinctSystems(
+    const std::vector<RunRecord>& records);
+std::vector<double> DistinctBudgets(const std::vector<RunRecord>& records,
+                                    const std::string& system);
+
+}  // namespace green
+
+#endif  // GREEN_BENCH_UTIL_AGGREGATE_H_

@@ -1,0 +1,211 @@
+#include "green/bench_util/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "green/automl/caml_system.h"
+#include "green/automl/flaml_system.h"
+#include "green/automl/gluon_system.h"
+#include "green/automl/random_search_system.h"
+#include "green/automl/tabpfn_system.h"
+#include "green/automl/tpot_system.h"
+#include "green/common/logging.h"
+#include "green/data/meta_corpus.h"
+#include "green/ml/metrics.h"
+#include "green/table/split.h"
+
+namespace green {
+
+ExperimentConfig ExperimentConfig::FromEnv() {
+  ExperimentConfig config;
+  config.profile = SimulationProfile::FromEnv();
+  const char* full = std::getenv("GREEN_FULL");
+  if (full != nullptr && full[0] == '1') {
+    config.dataset_limit = 0;  // All 39 tasks.
+    config.repetitions = 10;
+  }
+  return config;
+}
+
+const std::vector<std::string>& AllSystemNames() {
+  static const std::vector<std::string>* kNames =
+      new std::vector<std::string>{
+          "tabpfn", "caml",         "caml_tuned",   "flaml",
+          "autogluon", "autogluon_refit", "autosklearn1",
+          "autosklearn2", "tpot",       "random_search"};
+  return *kNames;
+}
+
+ExperimentRunner::ExperimentRunner(const ExperimentConfig& config)
+    : config_(config),
+      energy_model_(config.machine),
+      tuned_store_(TunedConfigStore::PaperDefaults()) {
+  auto suite = InstantiateAmlbSuite(config_.profile, config_.seed,
+                                    config_.dataset_limit);
+  GREEN_CHECK(suite.ok());
+  suite_ = std::move(suite).value();
+}
+
+double ExperimentRunner::MinBudget(const std::string& system_name) const {
+  if (system_name == "autosklearn1" || system_name == "autosklearn2") {
+    return 30.0;
+  }
+  if (system_name == "tpot") return 60.0;
+  return 0.0;
+}
+
+Status ExperimentRunner::EnsureMetaStore() {
+  if (meta_store_ != nullptr) return Status::Ok();
+  // ASKL2's warm start is meta-learned on a repository of pre-searched
+  // datasets; the cost is charged to the development stage (the paper:
+  // 140 datasets x 24 h of offline search).
+  MetaCorpusOptions corpus_options;
+  corpus_options.num_datasets = 16;
+  corpus_options.seed = HashCombine(config_.seed, 0x5743);
+  GREEN_ASSIGN_OR_RETURN(
+      std::vector<Dataset> corpus,
+      GenerateMetaCorpus(corpus_options, config_.profile));
+
+  VirtualClock clock;
+  ExecutionContext ctx(&clock, &energy_model_, config_.cores);
+  EnergyMeter meter(&energy_model_);
+  meter.Start(clock.Now());
+  ctx.SetMeter(&meter);
+  GREEN_ASSIGN_OR_RETURN(
+      AsklMetaStore store,
+      AsklMetaStore::BuildFromCorpus(corpus, /*evals_per_dataset=*/6,
+                                     HashCombine(config_.seed, 0x5744),
+                                     &ctx));
+  const EnergyReading reading = meter.Stop(clock.Now());
+  development_kwh_ += reading.kwh() / config_.budget_scale;
+  meta_store_ = std::make_unique<AsklMetaStore>(std::move(store));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<AutoMlSystem>> ExperimentRunner::MakeSystem(
+    const std::string& system_name, double paper_budget) {
+  if (system_name == "tabpfn") {
+    return std::unique_ptr<AutoMlSystem>(new TabPfnSystem());
+  }
+  if (system_name == "caml") {
+    return std::unique_ptr<AutoMlSystem>(new CamlSystem());
+  }
+  if (system_name == "caml_tuned") {
+    GREEN_ASSIGN_OR_RETURN(CamlParams params,
+                           tuned_store_.Get(paper_budget));
+    return std::unique_ptr<AutoMlSystem>(
+        new CamlSystem(params, "caml_tuned"));
+  }
+  if (system_name == "flaml") {
+    return std::unique_ptr<AutoMlSystem>(new FlamlSystem());
+  }
+  if (system_name == "autogluon") {
+    return std::unique_ptr<AutoMlSystem>(new GluonSystem());
+  }
+  if (system_name == "autogluon_refit") {
+    GluonParams params;
+    params.refit_for_inference = true;
+    return std::unique_ptr<AutoMlSystem>(new GluonSystem(params));
+  }
+  if (system_name == "autosklearn1" || system_name == "autosklearn2") {
+    GREEN_RETURN_IF_ERROR(EnsureMetaStore());
+    AsklParams params;
+    params.warm_start = system_name == "autosklearn2";
+    return std::unique_ptr<AutoMlSystem>(
+        new AsklSystem(params, meta_store_.get()));
+  }
+  if (system_name == "tpot") {
+    return std::unique_ptr<AutoMlSystem>(new TpotSystem());
+  }
+  if (system_name == "random_search") {
+    return std::unique_ptr<AutoMlSystem>(new RandomSearchSystem());
+  }
+  return Status::NotFound("unknown system: " + system_name);
+}
+
+Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
+                                           const Dataset& dataset,
+                                           double paper_budget,
+                                           int repetition, int cores) {
+  GREEN_ASSIGN_OR_RETURN(std::unique_ptr<AutoMlSystem> system,
+                         MakeSystem(system_name, paper_budget));
+
+  const uint64_t run_seed =
+      HashCombine(HashCombine(config_.seed, repetition + 1),
+                  HashCombine(HashString(system_name.c_str()),
+                              HashString(dataset.name().c_str())));
+
+  // The paper's outer protocol: 66/34 train/test split per dataset.
+  Rng rng(run_seed);
+  TrainTestIndices split = StratifiedSplit(dataset, 0.66, &rng);
+  TrainTestData data = Materialize(dataset, split);
+
+  VirtualClock clock;
+  ExecutionContext ctx(&clock, &energy_model_,
+                       cores > 0 ? cores : config_.cores);
+
+  AutoMlOptions options;
+  options.search_budget_seconds = paper_budget * config_.budget_scale;
+  options.cores = ctx.cores();
+  options.seed = run_seed;
+
+  GREEN_ASSIGN_OR_RETURN(AutoMlRunResult run,
+                         system->Fit(data.train, options, &ctx));
+
+  RunRecord record;
+  record.system = system_name;
+  record.dataset = dataset.name();
+  record.paper_budget_seconds = paper_budget;
+  record.repetition = repetition;
+  record.execution_seconds = run.actual_seconds / config_.budget_scale;
+  record.execution_kwh = run.execution.kwh() / config_.budget_scale;
+  record.num_pipelines = run.artifact.NumPipelines();
+  record.pipelines_evaluated = run.pipelines_evaluated;
+  record.best_validation_score = run.best_validation_score;
+
+  // Inference stage: metered separately, normalized per instance.
+  EnergyMeter inference_meter(&energy_model_);
+  inference_meter.Start(clock.Now());
+  ctx.SetMeter(&inference_meter);
+  GREEN_ASSIGN_OR_RETURN(std::vector<int> preds,
+                         run.artifact.Predict(data.test, &ctx));
+  const EnergyReading inference = inference_meter.Stop(clock.Now());
+  ctx.SetMeter(nullptr);
+
+  const double n_test = static_cast<double>(data.test.num_rows());
+  record.inference_kwh_per_instance =
+      n_test > 0 ? inference.kwh() / n_test / config_.budget_scale : 0.0;
+  record.inference_seconds_per_instance =
+      n_test > 0 ? inference.seconds / n_test / config_.budget_scale
+                 : 0.0;
+  record.test_balanced_accuracy = BalancedAccuracy(
+      data.test.labels(), preds, data.test.num_classes());
+  return record;
+}
+
+Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
+    const std::vector<std::string>& systems,
+    const std::vector<double>& paper_budgets) {
+  std::vector<RunRecord> records;
+  for (const std::string& system : systems) {
+    for (double budget : paper_budgets) {
+      if (budget < MinBudget(system)) continue;
+      for (const Dataset& dataset : suite_) {
+        for (int rep = 0; rep < config_.repetitions; ++rep) {
+          auto record = RunOne(system, dataset, budget, rep);
+          if (!record.ok()) {
+            LogWarning("run failed: " + system + " on " + dataset.name() +
+                       ": " + record.status().ToString());
+            continue;
+          }
+          records.push_back(std::move(record).value());
+        }
+      }
+      // TabPFN has no search-time parameter: one budget point suffices.
+      if (system == "tabpfn") break;
+    }
+  }
+  return records;
+}
+
+}  // namespace green

@@ -1,0 +1,108 @@
+#ifndef GREEN_BENCH_UTIL_EXPERIMENT_H_
+#define GREEN_BENCH_UTIL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "green/automl/askl_system.h"
+#include "green/automl/automl_system.h"
+#include "green/data/amlb_suite.h"
+#include "green/energy/machine_model.h"
+#include "green/metaopt/tuned_config_store.h"
+
+namespace green {
+
+/// Configuration shared by all paper-experiment benches.
+///
+/// Budgets are quoted in PAPER seconds (10/30/60/300); `budget_scale`
+/// converts them to virtual seconds on the simulated machine so a full
+/// sweep stays CI-grade. Reported seconds and kWh are scaled back to
+/// paper scale (energy is approximately linear in time at fixed power),
+/// keeping magnitudes comparable with the paper's charts.
+struct ExperimentConfig {
+  SimulationProfile profile = SimulationProfile::FromEnv();
+  double budget_scale = 0.15;
+  std::vector<double> paper_budgets = {10.0, 30.0, 60.0, 300.0};
+  size_t dataset_limit = 8;  ///< 0 = all 39 tasks.
+  int repetitions = 2;
+  uint64_t seed = 42;
+  MachineModel machine = MachineModel::XeonGold6132();
+  int cores = 1;
+
+  /// Reads GREEN_FULL to decide between the fast subset and the full
+  /// 39-task x 10-repetition configuration.
+  static ExperimentConfig FromEnv();
+};
+
+/// One (system, dataset, budget, repetition) measurement.
+struct RunRecord {
+  std::string system;
+  std::string dataset;
+  double paper_budget_seconds = 0.0;
+  int repetition = 0;
+
+  double test_balanced_accuracy = 0.0;
+  /// Execution stage, scaled back to paper scale.
+  double execution_seconds = 0.0;
+  double execution_kwh = 0.0;
+  /// Inference on the held-out test set, per instance.
+  double inference_kwh_per_instance = 0.0;
+  double inference_seconds_per_instance = 0.0;
+  size_t num_pipelines = 0;
+  int pipelines_evaluated = 0;
+  double best_validation_score = 0.0;
+};
+
+/// Names accepted by MakeSystem / RunOne.
+const std::vector<std::string>& AllSystemNames();
+
+/// Runs paper experiments: constructs systems by name, instantiates AMLB
+/// tasks, meters execution and inference separately, scales readings back
+/// to paper scale.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const ExperimentConfig& config);
+
+  /// The instantiated evaluation suite (possibly limited).
+  const std::vector<Dataset>& suite() const { return suite_; }
+
+  /// Runs one (system, dataset, budget, repetition). `cores` overrides
+  /// the config for the parallelism study; pass 0 to use the default.
+  Result<RunRecord> RunOne(const std::string& system_name,
+                           const Dataset& dataset, double paper_budget,
+                           int repetition, int cores = 0);
+
+  /// Full sweep over the suite for the given systems and budgets.
+  Result<std::vector<RunRecord>> Sweep(
+      const std::vector<std::string>& systems,
+      const std::vector<double>& paper_budgets);
+
+  /// Per-system minimum supported paper budget (30 s for ASKL, 60 s for
+  /// TPOT) — used to skip unsupported points like the paper does.
+  double MinBudget(const std::string& system_name) const;
+
+  const ExperimentConfig& config() const { return config_; }
+
+  /// Development-stage energy spent inside this runner so far (meta-store
+  /// construction for autosklearn2), at paper scale.
+  double development_kwh() const { return development_kwh_; }
+
+  /// Builds a system instance; `budget` selects CAML(tuned) parameters.
+  Result<std::unique_ptr<AutoMlSystem>> MakeSystem(
+      const std::string& system_name, double paper_budget);
+
+ private:
+  Status EnsureMetaStore();
+
+  ExperimentConfig config_;
+  EnergyModel energy_model_;
+  std::vector<Dataset> suite_;
+  TunedConfigStore tuned_store_;
+  std::unique_ptr<AsklMetaStore> meta_store_;
+  double development_kwh_ = 0.0;
+};
+
+}  // namespace green
+
+#endif  // GREEN_BENCH_UTIL_EXPERIMENT_H_

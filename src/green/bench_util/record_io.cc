@@ -1,0 +1,190 @@
+#include "green/bench_util/record_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "green/common/stringutil.h"
+
+namespace green {
+
+namespace {
+
+/// Minimal JSON string escaping for our field values (names contain only
+/// dataset identifiers; still escape defensively).
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Extracts the raw token after `"key":` in a flat one-line JSON object.
+/// Good enough for the records this library itself writes.
+Result<std::string> ExtractField(const std::string& line,
+                                 const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return Status::NotFound("missing field: " + key);
+  }
+  size_t start = pos + needle.size();
+  while (start < line.size() && line[start] == ' ') ++start;
+  if (start >= line.size()) return Status::NotFound("truncated: " + key);
+  if (line[start] == '"') {
+    // String value: scan to the closing unescaped quote.
+    std::string out;
+    for (size_t i = start + 1; i < line.size(); ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        const char c = line[++i];
+        out += c == 'n' ? '\n' : c;  // \" and \\ pass through as-is.
+      } else if (line[i] == '"') {
+        return out;
+      } else {
+        out += line[i];
+      }
+    }
+    return Status::InvalidArgument("unterminated string: " + key);
+  }
+  size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return std::string(Trim(line.substr(start, end - start)));
+}
+
+}  // namespace
+
+std::string RecordToJson(const RunRecord& record) {
+  return StrFormat(
+      "{\"system\":\"%s\",\"dataset\":\"%s\",\"budget_s\":%.6g,"
+      "\"repetition\":%d,\"balanced_accuracy\":%.10g,"
+      "\"execution_seconds\":%.10g,\"execution_kwh\":%.10g,"
+      "\"inference_kwh_per_instance\":%.10g,"
+      "\"inference_seconds_per_instance\":%.10g,\"num_pipelines\":%zu,"
+      "\"pipelines_evaluated\":%d,\"best_validation_score\":%.10g}",
+      Escape(record.system).c_str(), Escape(record.dataset).c_str(),
+      record.paper_budget_seconds, record.repetition,
+      record.test_balanced_accuracy, record.execution_seconds,
+      record.execution_kwh, record.inference_kwh_per_instance,
+      record.inference_seconds_per_instance, record.num_pipelines,
+      record.pipelines_evaluated, record.best_validation_score);
+}
+
+Result<RunRecord> RecordFromJson(const std::string& line) {
+  RunRecord record;
+  GREEN_ASSIGN_OR_RETURN(record.system, ExtractField(line, "system"));
+  GREEN_ASSIGN_OR_RETURN(record.dataset, ExtractField(line, "dataset"));
+  GREEN_ASSIGN_OR_RETURN(std::string budget,
+                         ExtractField(line, "budget_s"));
+  record.paper_budget_seconds = std::strtod(budget.c_str(), nullptr);
+  GREEN_ASSIGN_OR_RETURN(std::string rep,
+                         ExtractField(line, "repetition"));
+  record.repetition = static_cast<int>(std::strtol(rep.c_str(), nullptr,
+                                                   10));
+  GREEN_ASSIGN_OR_RETURN(std::string acc,
+                         ExtractField(line, "balanced_accuracy"));
+  record.test_balanced_accuracy = std::strtod(acc.c_str(), nullptr);
+  GREEN_ASSIGN_OR_RETURN(std::string exec_s,
+                         ExtractField(line, "execution_seconds"));
+  record.execution_seconds = std::strtod(exec_s.c_str(), nullptr);
+  GREEN_ASSIGN_OR_RETURN(std::string exec_kwh,
+                         ExtractField(line, "execution_kwh"));
+  record.execution_kwh = std::strtod(exec_kwh.c_str(), nullptr);
+  GREEN_ASSIGN_OR_RETURN(
+      std::string infer_kwh,
+      ExtractField(line, "inference_kwh_per_instance"));
+  record.inference_kwh_per_instance =
+      std::strtod(infer_kwh.c_str(), nullptr);
+  GREEN_ASSIGN_OR_RETURN(
+      std::string infer_s,
+      ExtractField(line, "inference_seconds_per_instance"));
+  record.inference_seconds_per_instance =
+      std::strtod(infer_s.c_str(), nullptr);
+  GREEN_ASSIGN_OR_RETURN(std::string pipes,
+                         ExtractField(line, "num_pipelines"));
+  record.num_pipelines =
+      static_cast<size_t>(std::strtoul(pipes.c_str(), nullptr, 10));
+  GREEN_ASSIGN_OR_RETURN(std::string evals,
+                         ExtractField(line, "pipelines_evaluated"));
+  record.pipelines_evaluated =
+      static_cast<int>(std::strtol(evals.c_str(), nullptr, 10));
+  GREEN_ASSIGN_OR_RETURN(std::string val,
+                         ExtractField(line, "best_validation_score"));
+  record.best_validation_score = std::strtod(val.c_str(), nullptr);
+  return record;
+}
+
+Status WriteRecordsJsonl(const std::vector<RunRecord>& records,
+                         const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  for (const RunRecord& record : records) {
+    const std::string line = RecordToJson(record) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+      std::fclose(f);
+      return Status::IoError("short write to " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Result<std::vector<RunRecord>> ReadRecordsJsonl(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::string text;
+  char buf[65536];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::vector<RunRecord> records;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    GREEN_ASSIGN_OR_RETURN(RunRecord record, RecordFromJson(line));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string RecordsToCsv(const std::vector<RunRecord>& records) {
+  std::string out =
+      "system,dataset,budget_s,repetition,balanced_accuracy,"
+      "execution_seconds,execution_kwh,inference_kwh_per_instance,"
+      "inference_seconds_per_instance,num_pipelines,pipelines_evaluated,"
+      "best_validation_score\n";
+  for (const RunRecord& r : records) {
+    out += StrFormat(
+        "%s,%s,%.6g,%d,%.10g,%.10g,%.10g,%.10g,%.10g,%zu,%d,%.10g\n",
+        r.system.c_str(), r.dataset.c_str(), r.paper_budget_seconds,
+        r.repetition, r.test_balanced_accuracy, r.execution_seconds,
+        r.execution_kwh, r.inference_kwh_per_instance,
+        r.inference_seconds_per_instance, r.num_pipelines,
+        r.pipelines_evaluated, r.best_validation_score);
+  }
+  return out;
+}
+
+Status WriteRecordsCsv(const std::vector<RunRecord>& records,
+                       const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const std::string text = RecordsToCsv(records);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) return Status::IoError("short write");
+  return Status::Ok();
+}
+
+}  // namespace green

@@ -1,0 +1,34 @@
+#ifndef GREEN_BENCH_UTIL_RECORD_IO_H_
+#define GREEN_BENCH_UTIL_RECORD_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "green/bench_util/experiment.h"
+
+namespace green {
+
+/// Serialization of experiment records, mirroring the paper's practice of
+/// publishing "the raw results of all 10 runs for all search times,
+/// datasets, and systems" in its artifact repository. JSON Lines for
+/// programmatic use, CSV for spreadsheets.
+
+/// One record as a single-line JSON object.
+std::string RecordToJson(const RunRecord& record);
+
+/// Parses a single-line JSON object produced by RecordToJson.
+Result<RunRecord> RecordFromJson(const std::string& line);
+
+/// Whole-file round trip (one JSON object per line).
+Status WriteRecordsJsonl(const std::vector<RunRecord>& records,
+                         const std::string& path);
+Result<std::vector<RunRecord>> ReadRecordsJsonl(const std::string& path);
+
+/// CSV with a header row.
+std::string RecordsToCsv(const std::vector<RunRecord>& records);
+Status WriteRecordsCsv(const std::vector<RunRecord>& records,
+                       const std::string& path);
+
+}  // namespace green
+
+#endif  // GREEN_BENCH_UTIL_RECORD_IO_H_

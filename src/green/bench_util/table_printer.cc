@@ -1,0 +1,53 @@
+#include "green/bench_util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace green {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t j = 0; j < headers_.size(); ++j) {
+    widths[j] = headers_[j].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t j = 0; j < headers_.size(); ++j) {
+      const std::string& cell = j < row.size() ? row[j] : "";
+      line += " " + cell + std::string(widths[j] - cell.size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (size_t j = 0; j < headers_.size(); ++j) {
+    sep += std::string(widths[j] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(Render().c_str(), stdout);
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace green

@@ -1,0 +1,33 @@
+#ifndef GREEN_BENCH_UTIL_TABLE_PRINTER_H_
+#define GREEN_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace green {
+
+/// Fixed-width ASCII table renderer for bench output, so every bench
+/// binary prints the same rows/series shape as the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header separator; columns sized to content.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner, e.g. "=== Figure 3: ... ===".
+void PrintBanner(const std::string& title);
+
+}  // namespace green
+
+#endif  // GREEN_BENCH_UTIL_TABLE_PRINTER_H_

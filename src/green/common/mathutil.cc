@@ -1,0 +1,125 @@
+#include "green/common/mathutil.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace green {
+
+void SoftmaxInPlace(std::vector<double>* v) {
+  if (v->empty()) return;
+  const double mx = *std::max_element(v->begin(), v->end());
+  double sum = 0.0;
+  for (double& x : *v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  if (sum <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(v->size());
+    for (double& x : *v) x = uniform;
+    return;
+  }
+  for (double& x : *v) x /= sum;
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  if (v.empty()) return -INFINITY;
+  const double mx = *std::max_element(v.begin(), v.end());
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - mx);
+  return mx + std::log(sum);
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + mid - 1, v.begin() + mid);
+  return 0.5 * (v[mid - 1] + hi);
+}
+
+double Quantile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  p = Clamp(p, 0.0, 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double Sigmoid(double x) {
+  x = Clamp(x, -40.0, 40.0);
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+size_t ArgMax(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  return static_cast<size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double ma = 0.0;
+  double mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace green

@@ -1,0 +1,122 @@
+#ifndef GREEN_COMMON_STATUS_H_
+#define GREEN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace green {
+
+/// Error handling follows the RocksDB idiom: the library never throws;
+/// fallible operations return a `Status` (or `Result<T>`, below).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+    kUnimplemented,
+    kInternal,
+    kIoError,
+    kResourceExhausted,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string, "OK" for success.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Value-or-error, move-friendly. Mirrors absl::StatusOr in spirit.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {}     // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Precondition: ok(). Accessing the value of a failed Result aborts.
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define GREEN_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::green::Status _green_st = (expr);            \
+    if (!_green_st.ok()) return _green_st;         \
+  } while (0)
+
+#define GREEN_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define GREEN_CONCAT_INNER(a, b) a##b
+#define GREEN_CONCAT(a, b) GREEN_CONCAT_INNER(a, b)
+
+/// GREEN_ASSIGN_OR_RETURN(auto x, Expr()) — assign value or propagate error.
+#define GREEN_ASSIGN_OR_RETURN(lhs, rexpr) \
+  GREEN_ASSIGN_OR_RETURN_IMPL(GREEN_CONCAT(_green_res_, __LINE__), lhs, rexpr)
+
+}  // namespace green
+
+#endif  // GREEN_COMMON_STATUS_H_

@@ -1,0 +1,64 @@
+#include "green/data/meta_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "green/common/rng.h"
+#include "green/common/stringutil.h"
+#include "green/data/synthetic.h"
+
+namespace green {
+
+Result<std::vector<Dataset>> GenerateMetaCorpus(
+    const MetaCorpusOptions& options, const SimulationProfile& profile) {
+  if (options.num_datasets == 0) {
+    return Status::InvalidArgument("empty meta corpus");
+  }
+  Rng rng(options.seed);
+  std::vector<Dataset> out;
+  out.reserve(options.num_datasets);
+
+  const double log_row_lo = std::log(static_cast<double>(options.min_rows));
+  const double log_row_hi = std::log(static_cast<double>(options.max_rows));
+  const double log_feat_lo =
+      std::log(static_cast<double>(options.min_features));
+  const double log_feat_hi =
+      std::log(static_cast<double>(options.max_features));
+
+  for (size_t i = 0; i < options.num_datasets; ++i) {
+    const int64_t nominal_rows = static_cast<int64_t>(
+        std::exp(rng.NextUniform(log_row_lo, log_row_hi)));
+    const int64_t nominal_features = static_cast<int64_t>(
+        std::exp(rng.NextUniform(log_feat_lo, log_feat_hi)));
+
+    SyntheticSpec s;
+    s.name = StrFormat("meta-%03zu", i);
+    s.num_classes = 2;
+    s.nominal_rows = nominal_rows;
+    s.nominal_features = nominal_features;
+    s.num_rows = std::clamp(
+        static_cast<size_t>(profile.row_scale *
+                            std::sqrt(static_cast<double>(nominal_rows))),
+        profile.min_rows, profile.max_rows);
+    s.num_features = std::clamp(
+        static_cast<size_t>(
+            profile.feature_scale *
+            std::sqrt(static_cast<double>(nominal_features))),
+        profile.min_features, profile.max_features);
+    s.num_informative = std::max<size_t>(
+        2, static_cast<size_t>(static_cast<double>(s.num_features) *
+                               rng.NextUniform(0.3, 0.7)));
+    s.num_categorical = static_cast<size_t>(
+        static_cast<double>(s.num_features) * rng.NextUniform(0.0, 0.35));
+    s.clusters_per_class = static_cast<int>(rng.NextInt(1, 3));
+    s.separation = rng.NextUniform(1.2, 2.6);
+    s.label_noise = rng.NextUniform(0.01, 0.12);
+    s.seed = HashCombine(options.seed, i + 1);
+
+    GREEN_ASSIGN_OR_RETURN(Dataset d, GenerateSynthetic(s));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace green

@@ -1,0 +1,35 @@
+#ifndef GREEN_DATA_META_CORPUS_H_
+#define GREEN_DATA_META_CORPUS_H_
+
+#include <vector>
+
+#include "green/common/status.h"
+#include "green/data/amlb_suite.h"
+#include "green/table/dataset.h"
+
+namespace green {
+
+/// The development-stage corpora the paper relies on:
+///  * §3.7 tunes CAML on the top-k most representative of 124 binary
+///    classification OpenML datasets;
+///  * AutoSklearn 2's warm start is meta-learned on a repository of
+///    pre-searched datasets.
+/// We generate a deterministic family of binary tasks spanning several
+/// orders of magnitude in (nominal) rows and features, log-uniformly,
+/// mirroring the diversity of the OpenML pool.
+struct MetaCorpusOptions {
+  size_t num_datasets = 124;
+  int64_t min_rows = 500;
+  int64_t max_rows = 120000;
+  int64_t min_features = 5;
+  int64_t max_features = 3000;
+  uint64_t seed = 20240101;
+};
+
+/// Instantiates the corpus at simulation scale. Every dataset is binary.
+Result<std::vector<Dataset>> GenerateMetaCorpus(
+    const MetaCorpusOptions& options, const SimulationProfile& profile);
+
+}  // namespace green
+
+#endif  // GREEN_DATA_META_CORPUS_H_

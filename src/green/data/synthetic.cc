@@ -1,0 +1,98 @@
+#include "green/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "green/common/mathutil.h"
+#include "green/common/stringutil.h"
+
+namespace green {
+
+Result<Dataset> GenerateSynthetic(const SyntheticSpec& spec) {
+  if (spec.num_rows == 0 || spec.num_features == 0 ||
+      spec.num_classes <= 0) {
+    return Status::InvalidArgument("empty synthetic spec");
+  }
+  if (spec.num_rows < static_cast<size_t>(spec.num_classes)) {
+    return Status::InvalidArgument(
+        StrFormat("%zu rows cannot cover %d classes", spec.num_rows,
+                  spec.num_classes));
+  }
+  const size_t informative =
+      std::max<size_t>(1, std::min(spec.num_informative, spec.num_features));
+  const size_t categorical = std::min(spec.num_categorical,
+                                      spec.num_features);
+  const int clusters = std::max(1, spec.clusters_per_class);
+
+  Rng rng(spec.seed);
+
+  // Cluster centers: [class][cluster][informative-dim].
+  std::vector<std::vector<std::vector<double>>> centers(
+      static_cast<size_t>(spec.num_classes));
+  for (auto& per_class : centers) {
+    per_class.resize(static_cast<size_t>(clusters));
+    for (auto& center : per_class) {
+      center.resize(informative);
+      for (double& c : center) c = rng.NextGaussian() * spec.separation;
+    }
+  }
+
+  Dataset data(spec.name, spec.num_features, spec.num_classes);
+  data.SetNominalSize(
+      spec.nominal_rows > 0 ? spec.nominal_rows
+                            : static_cast<int64_t>(spec.num_rows),
+      spec.nominal_features > 0
+          ? spec.nominal_features
+          : static_cast<int64_t>(spec.num_features));
+
+  // Categorical columns sit at the end of the feature vector; each gets a
+  // small random cardinality and is produced by binning a latent value.
+  const size_t first_categorical = spec.num_features - categorical;
+  std::vector<int> cardinalities(categorical);
+  for (auto& c : cardinalities) {
+    c = static_cast<int>(rng.NextInt(2, 8));
+  }
+  for (size_t j = first_categorical; j < spec.num_features; ++j) {
+    data.SetFeatureType(j, FeatureType::kCategorical);
+  }
+
+  std::vector<double> row(spec.num_features);
+  for (size_t r = 0; r < spec.num_rows; ++r) {
+    // Round-robin base class guarantees every class is populated, then
+    // shuffled assignment keeps the mixture balanced-ish.
+    int label = static_cast<int>(r % static_cast<size_t>(spec.num_classes));
+    const auto& center =
+        centers[static_cast<size_t>(label)]
+               [static_cast<size_t>(rng.NextBounded(
+                   static_cast<uint64_t>(clusters)))];
+
+    for (size_t j = 0; j < spec.num_features; ++j) {
+      double latent = (j < informative)
+                          ? center[j] + rng.NextGaussian()
+                          : rng.NextGaussian();  // Pure noise feature.
+      if (j >= first_categorical) {
+        const int card = cardinalities[j - first_categorical];
+        // Bin the latent value into [0, card): informative categorical
+        // columns keep class signal, noise ones do not.
+        const double q = Sigmoid(latent);
+        latent = std::min<double>(card - 1,
+                                  std::floor(q * static_cast<double>(card)));
+      }
+      row[j] = latent;
+    }
+
+    if (spec.label_noise > 0.0 && rng.NextBool(spec.label_noise)) {
+      label = static_cast<int>(
+          rng.NextBounded(static_cast<uint64_t>(spec.num_classes)));
+    }
+    if (spec.missing_fraction > 0.0) {
+      for (size_t j = 0; j < spec.num_features; ++j) {
+        if (rng.NextBool(spec.missing_fraction)) row[j] = NAN;
+      }
+    }
+    GREEN_RETURN_IF_ERROR(data.AppendRow(row, label));
+  }
+  return data;
+}
+
+}  // namespace green

@@ -1,0 +1,45 @@
+#ifndef GREEN_DATA_SYNTHETIC_H_
+#define GREEN_DATA_SYNTHETIC_H_
+
+#include <string>
+
+#include "green/common/rng.h"
+#include "green/common/status.h"
+#include "green/table/dataset.h"
+
+namespace green {
+
+/// Specification for one synthetic classification task.
+///
+/// Tasks are Gaussian-mixture problems: each class owns
+/// `clusters_per_class` Gaussian clusters in an informative subspace;
+/// remaining features are noise; a subset of features is discretized into
+/// categorical codes; labels are flipped with probability `label_noise`.
+/// The knobs give a controllable Bayes error, so harder tasks stay hard
+/// for every model family — which is what lets search quality separate the
+/// AutoML systems like the paper's real OpenML tasks do.
+struct SyntheticSpec {
+  std::string name;
+  size_t num_rows = 500;
+  size_t num_features = 20;
+  int num_classes = 2;
+  size_t num_informative = 10;    ///< Clamped to num_features.
+  size_t num_categorical = 0;     ///< Clamped to num_features.
+  int clusters_per_class = 2;
+  double separation = 2.0;        ///< Cluster-center spread vs unit noise.
+  double label_noise = 0.05;
+  double missing_fraction = 0.0;
+  uint64_t seed = 1;
+  /// Nominal (real-task) size recorded on the dataset for cost
+  /// extrapolation and meta-features; 0 means "same as instantiated".
+  int64_t nominal_rows = 0;
+  int64_t nominal_features = 0;
+};
+
+/// Materializes the task. Returns InvalidArgument for degenerate specs
+/// (zero rows/features/classes, or fewer rows than classes).
+Result<Dataset> GenerateSynthetic(const SyntheticSpec& spec);
+
+}  // namespace green
+
+#endif  // GREEN_DATA_SYNTHETIC_H_

@@ -1,0 +1,53 @@
+#include "green/energy/energy_meter.h"
+
+#include "green/common/logging.h"
+
+namespace green {
+
+EnergyMeter::EnergyMeter(const EnergyModel* model) : model_(model) {
+  GREEN_CHECK(model_ != nullptr);
+}
+
+void EnergyMeter::Start(double clock_now) {
+  GREEN_CHECK(!running_);
+  running_ = true;
+  start_time_ = clock_now;
+  dynamic_ = EnergyBreakdown{};
+}
+
+void EnergyMeter::Record(const Work& work, const WorkExecution& exec) {
+  if (!running_) return;
+  if (exec.gpu_busy_seconds > 0.0) {
+    dynamic_.gpu_dynamic_j +=
+        model_->machine().gpu_active_watts * exec.gpu_busy_seconds;
+  }
+  if (exec.busy_core_seconds > 0.0) {
+    dynamic_.cpu_dynamic_j += model_->machine().cpu_active_watts_per_core *
+                              exec.busy_core_seconds;
+  }
+  dynamic_.dram_j += model_->machine().dram_joules_per_byte * work.bytes;
+}
+
+EnergyReading EnergyMeter::Stop(double clock_now) {
+  GREEN_CHECK(running_);
+  EnergyReading out = Peek(clock_now);
+  running_ = false;
+  return out;
+}
+
+EnergyReading EnergyMeter::Peek(double clock_now) const {
+  EnergyReading out;
+  if (!running_) return out;
+  const double elapsed = clock_now - start_time_;
+  out.seconds = elapsed > 0.0 ? elapsed : 0.0;
+  out.breakdown = dynamic_;
+  out.breakdown.cpu_static_j +=
+      model_->machine().cpu_static_watts * out.seconds;
+  if (model_->machine().has_gpu) {
+    out.breakdown.gpu_idle_j +=
+        model_->machine().gpu_idle_watts * out.seconds;
+  }
+  return out;
+}
+
+}  // namespace green

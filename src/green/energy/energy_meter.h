@@ -1,0 +1,67 @@
+#ifndef GREEN_ENERGY_ENERGY_METER_H_
+#define GREEN_ENERGY_ENERGY_METER_H_
+
+#include "green/common/status.h"
+#include "green/energy/energy_model.h"
+
+namespace green {
+
+/// Result of one metered scope.
+struct EnergyReading {
+  double seconds = 0.0;  ///< Virtual wall time covered by the scope.
+  EnergyBreakdown breakdown;
+
+  double kwh() const { return breakdown.TotalKwh(); }
+  double joules() const { return breakdown.TotalJoules(); }
+
+  EnergyReading& operator+=(const EnergyReading& o) {
+    seconds += o.seconds;
+    breakdown += o.breakdown;
+    return *this;
+  }
+};
+
+/// CodeCarbon-style scoped tracker.
+///
+/// Usage:
+///   EnergyMeter meter(&model);
+///   meter.Start(clock.Now());
+///   ... instrumented code records Work executions ...
+///   EnergyReading r = meter.Stop(clock.Now());
+///
+/// Dynamic energy is attributed per recorded execution; static package
+/// power and GPU idle power are charged for the scope's full wall time at
+/// Stop(), mirroring how a physical power meter sees a mostly-idle
+/// accelerator.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(const EnergyModel* model);
+
+  EnergyMeter(const EnergyMeter&) = delete;
+  EnergyMeter& operator=(const EnergyMeter&) = delete;
+
+  /// Begins a scope at virtual time `clock_now` (seconds).
+  void Start(double clock_now);
+
+  /// Attributes one executed work item to the running scope.
+  void Record(const Work& work, const WorkExecution& exec);
+
+  /// Ends the scope, charging baseline power for the elapsed wall time.
+  EnergyReading Stop(double clock_now);
+
+  /// Reading of the scope so far (baseline power up to `clock_now`)
+  /// without ending it.
+  EnergyReading Peek(double clock_now) const;
+
+  bool running() const { return running_; }
+
+ private:
+  const EnergyModel* model_;  // Not owned.
+  bool running_ = false;
+  double start_time_ = 0.0;
+  EnergyBreakdown dynamic_;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ENERGY_ENERGY_METER_H_

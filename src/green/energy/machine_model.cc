@@ -1,0 +1,56 @@
+#include "green/energy/machine_model.h"
+
+#include <algorithm>
+
+namespace green {
+
+MachineModel MachineModel::XeonGold6132() {
+  MachineModel m;
+  m.name = "xeon-gold-6132";
+  m.num_cores = 28;
+  m.cpu_flops_per_core = 1.0e6;
+  m.cpu_static_watts = 25.0;
+  m.cpu_active_watts_per_core = 10.5;
+  m.dram_joules_per_byte = 5.0e-9;
+  return m;
+}
+
+MachineModel MachineModel::GpuNodeT4() {
+  MachineModel m;
+  m.name = "gpu-node-t4";
+  m.num_cores = 8;
+  // The GPU machine's CPU cores are clocked lower (2.0 vs 2.6 GHz) and the
+  // part is a smaller SKU; per-core throughput is reduced accordingly.
+  m.cpu_flops_per_core = 0.55e6;
+  m.cpu_static_watts = 14.0;
+  m.cpu_active_watts_per_core = 9.0;
+  m.dram_joules_per_byte = 5.0e-9;
+  m.has_gpu = true;
+  // T4-like: an order of magnitude more matmul throughput than the host CPU,
+  // 10 W idle draw, 60 W additional when active.
+  m.gpu_flops = 60.0e6;
+  m.gpu_idle_watts = 10.0;
+  m.gpu_active_watts = 60.0;
+  return m;
+}
+
+MachineModel MachineModel::Minimal() {
+  MachineModel m;
+  m.name = "minimal";
+  m.num_cores = 1;
+  m.cpu_flops_per_core = 1.0e6;
+  m.cpu_static_watts = 10.0;
+  m.cpu_active_watts_per_core = 5.0;
+  m.dram_joules_per_byte = 5.0e-9;
+  return m;
+}
+
+double MachineModel::Throughput(Device device, int cores) const {
+  if (device == Device::kGpu) {
+    return has_gpu ? gpu_flops : 0.0;
+  }
+  const int c = std::clamp(cores, 1, num_cores);
+  return cpu_flops_per_core * static_cast<double>(c);
+}
+
+}  // namespace green

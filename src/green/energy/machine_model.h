@@ -1,0 +1,61 @@
+#ifndef GREEN_ENERGY_MACHINE_MODEL_H_
+#define GREEN_ENERGY_MACHINE_MODEL_H_
+
+#include <string>
+
+namespace green {
+
+/// Compute device a piece of work runs on.
+enum class Device { kCpu = 0, kGpu = 1 };
+
+/// Deterministic stand-in for the paper's measurement hardware.
+///
+/// The paper measures energy with CodeCarbon on two machines:
+///   * a 28-core Intel Xeon Gold 6132 @ 2.60 GHz, 264 GB RAM (CPU machine),
+///   * an 8-core Xeon @ 2.00 GHz with one Nvidia T4 (GPU machine).
+/// We model a machine as throughput (abstract FLOP-equivalents per second
+/// per core) plus a linear power model: package static power, active power
+/// per busy core, DRAM energy per byte, and GPU idle/active power. All
+/// energy results in this library are pure functions of counted work and
+/// these constants, never of host wall-clock, so experiments are exactly
+/// reproducible on any build machine.
+struct MachineModel {
+  std::string name;
+
+  // --- CPU ---
+  int num_cores = 1;
+  /// Abstract FLOP-equivalents per second per core at the chosen
+  /// simulation fidelity. Scaling this up/down scales virtual time, not
+  /// relative results.
+  double cpu_flops_per_core = 1.0e6;
+  /// Package power drawn regardless of load (W).
+  double cpu_static_watts = 40.0;
+  /// Additional power per busy core (W).
+  double cpu_active_watts_per_core = 8.0;
+
+  // --- DRAM ---
+  /// Energy per byte moved through the memory system (J/B).
+  double dram_joules_per_byte = 5.0e-9;
+
+  // --- GPU (optional) ---
+  bool has_gpu = false;
+  double gpu_flops = 0.0;         ///< FLOP-equivalents per second (whole GPU).
+  double gpu_idle_watts = 0.0;    ///< Drawn whenever the GPU is present.
+  double gpu_active_watts = 0.0;  ///< Additional power while computing.
+
+  /// The paper's primary machine: 28-core Xeon Gold 6132, no GPU.
+  static MachineModel XeonGold6132();
+
+  /// The paper's GPU machine: 8 weaker cores + one T4.
+  static MachineModel GpuNodeT4();
+
+  /// A small single-core machine, useful for unit tests.
+  static MachineModel Minimal();
+
+  /// Throughput of `cores` busy cores on `device` (FLOP-equivalents/s).
+  double Throughput(Device device, int cores) const;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ENERGY_MACHINE_MODEL_H_

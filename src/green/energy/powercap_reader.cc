@@ -1,0 +1,79 @@
+#include "green/energy/powercap_reader.h"
+
+#include <dirent.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "green/common/stringutil.h"
+
+namespace green {
+
+namespace {
+
+Result<std::string> ReadSmallFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  char buf[256];
+  std::string out;
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+    if (out.size() > 4096) break;  // Sysfs values are tiny.
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+Result<PowercapReader> PowercapReader::Discover(const std::string& root) {
+  DIR* dir = opendir(root.c_str());
+  if (dir == nullptr) {
+    return Status::NotFound("powercap root not available: " + root);
+  }
+  std::vector<Zone> zones;
+  for (dirent* e = readdir(dir); e != nullptr; e = readdir(dir)) {
+    const std::string entry = e->d_name;
+    if (!StartsWith(entry, "intel-rapl")) continue;
+    const std::string dir_path = root + "/" + entry;
+    const std::string name_path = dir_path + "/name";
+    const std::string energy_path = dir_path + "/energy_uj";
+    auto name = ReadSmallFile(name_path);
+    if (!name.ok()) continue;
+    auto probe = ReadSmallFile(energy_path);
+    if (!probe.ok()) continue;  // Often unreadable without privileges.
+    Zone z;
+    z.name = std::string(Trim(name.value()));
+    z.energy_path = energy_path;
+    zones.push_back(std::move(z));
+  }
+  closedir(dir);
+  if (zones.empty()) {
+    return Status::NotFound("no readable RAPL zones under " + root);
+  }
+  return PowercapReader(std::move(zones));
+}
+
+Result<double> PowercapReader::ReadZoneJoules(size_t zone_index) const {
+  if (zone_index >= zones_.size()) {
+    return Status::OutOfRange("zone index out of range");
+  }
+  GREEN_ASSIGN_OR_RETURN(std::string raw,
+                         ReadSmallFile(zones_[zone_index].energy_path));
+  const double micro_joules = std::strtod(raw.c_str(), nullptr);
+  return micro_joules * 1e-6;
+}
+
+Result<double> PowercapReader::ReadTotalJoules() const {
+  double total = 0.0;
+  for (size_t i = 0; i < zones_.size(); ++i) {
+    GREEN_ASSIGN_OR_RETURN(double j, ReadZoneJoules(i));
+    total += j;
+  }
+  return total;
+}
+
+}  // namespace green

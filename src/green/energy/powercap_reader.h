@@ -1,0 +1,46 @@
+#ifndef GREEN_ENERGY_POWERCAP_READER_H_
+#define GREEN_ENERGY_POWERCAP_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "green/common/status.h"
+
+namespace green {
+
+/// Best-effort reader for the Linux powercap interface
+/// (/sys/class/powercap/intel-rapl*), the same source CodeCarbon uses.
+/// All simulated experiments in this repository are driven by the
+/// deterministic EnergyModel; this reader exists so the library can be
+/// pointed at real hardware when RAPL is accessible, and degrades
+/// gracefully (NotFound) when it is not — e.g. in containers or on
+/// non-Intel machines.
+class PowercapReader {
+ public:
+  struct Zone {
+    std::string name;         ///< e.g. "package-0", "dram".
+    std::string energy_path;  ///< sysfs file with cumulative microjoules.
+  };
+
+  /// Scans `root` for RAPL zones. Default root is the live sysfs tree.
+  static Result<PowercapReader> Discover(
+      const std::string& root = "/sys/class/powercap");
+
+  const std::vector<Zone>& zones() const { return zones_; }
+
+  /// Cumulative energy of one zone in Joules.
+  Result<double> ReadZoneJoules(size_t zone_index) const;
+
+  /// Sum over all discovered zones, in Joules.
+  Result<double> ReadTotalJoules() const;
+
+ private:
+  explicit PowercapReader(std::vector<Zone> zones)
+      : zones_(std::move(zones)) {}
+
+  std::vector<Zone> zones_;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ENERGY_POWERCAP_READER_H_

@@ -1,0 +1,30 @@
+#include "green/energy/rapl_simulator.h"
+
+namespace green {
+
+void RaplSimulator::Deposit(double package_joules, double dram_joules) {
+  if (package_joules > 0.0) {
+    package_units_ += static_cast<uint64_t>(package_joules / kJoulesPerUnit);
+  }
+  if (dram_joules > 0.0) {
+    dram_units_ += static_cast<uint64_t>(dram_joules / kJoulesPerUnit);
+  }
+}
+
+uint32_t RaplSimulator::ReadPackageCounter() const {
+  return static_cast<uint32_t>(package_units_ & 0xffffffffULL);
+}
+
+uint32_t RaplSimulator::ReadDramCounter() const {
+  return static_cast<uint32_t>(dram_units_ & 0xffffffffULL);
+}
+
+double RaplSimulator::CounterDeltaJoules(uint32_t before, uint32_t after) {
+  const uint64_t delta =
+      (after >= before)
+          ? static_cast<uint64_t>(after - before)
+          : (static_cast<uint64_t>(after) + (1ULL << 32) - before);
+  return static_cast<double>(delta) * kJoulesPerUnit;
+}
+
+}  // namespace green

@@ -1,0 +1,37 @@
+#ifndef GREEN_ENERGY_RAPL_SIMULATOR_H_
+#define GREEN_ENERGY_RAPL_SIMULATOR_H_
+
+#include <cstdint>
+
+namespace green {
+
+/// Simulates Intel RAPL energy MSRs: monotonically increasing energy
+/// counters in fixed 15.3-microjoule units that wrap around at 32 bits,
+/// exactly like MSR_PKG_ENERGY_STATUS / MSR_DRAM_ENERGY_STATUS. The
+/// EnergyMeter is validated against this low-level substrate (CodeCarbon
+/// reads the real registers the same way).
+class RaplSimulator {
+ public:
+  /// Default RAPL energy unit: 1/2^16 J ~= 15.3 uJ.
+  static constexpr double kJoulesPerUnit = 1.0 / 65536.0;
+
+  /// Adds energy to the underlying (hidden) accumulators.
+  void Deposit(double package_joules, double dram_joules);
+
+  /// Raw 32-bit counter reads, wrapping like the hardware registers.
+  uint32_t ReadPackageCounter() const;
+  uint32_t ReadDramCounter() const;
+
+  /// Joules represented by the difference of two raw counter reads,
+  /// assuming at most one wraparound between them (the CodeCarbon
+  /// sampling assumption).
+  static double CounterDeltaJoules(uint32_t before, uint32_t after);
+
+ private:
+  uint64_t package_units_ = 0;
+  uint64_t dram_units_ = 0;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ENERGY_RAPL_SIMULATOR_H_

@@ -1,0 +1,56 @@
+#include "green/energy/stage_ledger.h"
+
+#include <limits>
+
+namespace green {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kDevelopment:
+      return "development";
+    case Stage::kExecution:
+      return "execution";
+    case Stage::kInference:
+      return "inference";
+  }
+  return "?";
+}
+
+void StageLedger::Add(const std::string& system, Stage stage,
+                      const EnergyReading& reading) {
+  entries_[{system, stage}] += reading;
+}
+
+EnergyReading StageLedger::Get(const std::string& system,
+                               Stage stage) const {
+  auto it = entries_.find({system, stage});
+  if (it == entries_.end()) return EnergyReading{};
+  return it->second;
+}
+
+double StageLedger::TotalKwh(const std::string& system) const {
+  double total = 0.0;
+  for (Stage s : {Stage::kDevelopment, Stage::kExecution,
+                  Stage::kInference}) {
+    total += Get(system, s).kwh();
+  }
+  return total;
+}
+
+double StageLedger::AmortizationRuns(double development_kwh,
+                                     double per_run_saving_kwh) {
+  if (per_run_saving_kwh <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return development_kwh / per_run_saving_kwh;
+}
+
+std::vector<std::string> StageLedger::systems() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : entries_) {
+    if (out.empty() || out.back() != key.first) out.push_back(key.first);
+  }
+  return out;
+}
+
+}  // namespace green

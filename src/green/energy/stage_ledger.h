@@ -1,0 +1,48 @@
+#ifndef GREEN_ENERGY_STAGE_LEDGER_H_
+#define GREEN_ENERGY_STAGE_LEDGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "green/energy/energy_meter.h"
+
+namespace green {
+
+/// The three AutoML life-cycle stages of Tornede et al. that the paper's
+/// holistic analysis attributes energy to.
+enum class Stage { kDevelopment = 0, kExecution = 1, kInference = 2 };
+
+const char* StageName(Stage stage);
+
+/// Accumulates energy readings per (system, stage). This is the paper's
+/// central bookkeeping device: savings in one stage (e.g. TabPFN's free
+/// execution) can be paid for in another (its expensive inference), and
+/// only a ledger across all three stages makes the trade-offs visible.
+class StageLedger {
+ public:
+  void Add(const std::string& system, Stage stage,
+           const EnergyReading& reading);
+
+  /// Total reading accumulated for (system, stage); zero if absent.
+  EnergyReading Get(const std::string& system, Stage stage) const;
+
+  /// kWh across all stages for one system.
+  double TotalKwh(const std::string& system) const;
+
+  /// Amortization: number of executions after which investing
+  /// `development_kwh` up-front pays off against a baseline whose
+  /// per-execution energy is higher by `per_run_saving_kwh`.
+  /// Returns a large sentinel if the saving is non-positive.
+  static double AmortizationRuns(double development_kwh,
+                                 double per_run_saving_kwh);
+
+  std::vector<std::string> systems() const;
+
+ private:
+  std::map<std::pair<std::string, Stage>, EnergyReading> entries_;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ENERGY_STAGE_LEDGER_H_

@@ -1,0 +1,61 @@
+#ifndef GREEN_METAOPT_AUTOML_TUNER_H_
+#define GREEN_METAOPT_AUTOML_TUNER_H_
+
+#include <vector>
+
+#include "green/automl/caml_system.h"
+#include "green/energy/energy_meter.h"
+#include "green/table/dataset.h"
+
+namespace green {
+
+/// §2.5's development-stage optimizer: Bayesian optimization over CAML's
+/// AutoML-system parameters, evaluated on the top-k representative
+/// datasets with median pruning, two repetitions per (trial, dataset),
+/// and the paper's relative-improvement objective
+///   sum_d (Acc(w,d) - Acc(w0,d)) / max(Acc(w,d), Acc(w0,d)).
+/// The whole procedure's energy is the "development stage" cost of
+/// Fig. 7; run it under a development-stage meter.
+struct AutoMlTunerOptions {
+  double search_time_seconds = 10.0;  ///< Budget the tuned CAML targets.
+  int bo_iterations = 300;
+  int top_k_datasets = 20;
+  int repetitions = 2;
+  uint64_t seed = 1;
+};
+
+struct AutoMlTunerResult {
+  CamlParams best_params;
+  double best_objective = -1e300;
+  /// Mean balanced accuracy of the best trial across the tuning datasets.
+  double best_mean_accuracy = 0.0;
+  int trials_run = 0;
+  int trials_pruned = 0;
+  /// Development-stage energy consumed by the tuning run.
+  EnergyReading development;
+  double development_seconds = 0.0;
+  std::vector<size_t> representative_indices;
+};
+
+class AutoMlTuner {
+ public:
+  explicit AutoMlTuner(const AutoMlTunerOptions& options)
+      : options_(options) {}
+
+  /// Tunes on `corpus` (binary classification datasets). All work is
+  /// charged through `ctx`.
+  Result<AutoMlTunerResult> Tune(const std::vector<Dataset>& corpus,
+                                 ExecutionContext* ctx);
+
+  /// The tuner's parameter space decoded to CamlParams (exposed for
+  /// tests and for Table 5 introspection).
+  static CamlParams DecodeTrial(const std::vector<double>& unit);
+  static size_t TrialDimension();
+
+ private:
+  AutoMlTunerOptions options_;
+};
+
+}  // namespace green
+
+#endif  // GREEN_METAOPT_AUTOML_TUNER_H_

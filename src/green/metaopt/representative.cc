@@ -1,0 +1,28 @@
+#include "green/metaopt/representative.h"
+
+#include "green/search/kmeans.h"
+#include "green/table/metafeatures.h"
+
+namespace green {
+
+Result<std::vector<size_t>> SelectRepresentativeDatasets(
+    const std::vector<Dataset>& corpus, int top_k, uint64_t seed) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("empty corpus");
+  }
+  if (top_k <= 0) {
+    return Status::InvalidArgument("top_k must be positive");
+  }
+  std::vector<std::vector<double>> points;
+  points.reserve(corpus.size());
+  for (const Dataset& d : corpus) {
+    points.push_back(ComputeMetaFeatures(d).ToVector());
+  }
+  KMeansOptions options;
+  options.k = top_k;
+  options.seed = seed;
+  GREEN_ASSIGN_OR_RETURN(KMeansResult clustering, KMeans(points, options));
+  return ClosestPointPerCentroid(points, clustering);
+}
+
+}  // namespace green

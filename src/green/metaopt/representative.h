@@ -1,0 +1,20 @@
+#ifndef GREEN_METAOPT_REPRESENTATIVE_H_
+#define GREEN_METAOPT_REPRESENTATIVE_H_
+
+#include <vector>
+
+#include "green/common/status.h"
+#include "green/table/dataset.h"
+
+namespace green {
+
+/// §2.5 / Fig. 2 of the paper: cluster the corpus's meta-features with
+/// K-Means and keep, for each centroid, the closest dataset — the top-k
+/// most representative datasets the AutoML-parameter tuner evaluates on
+/// instead of the full corpus.
+Result<std::vector<size_t>> SelectRepresentativeDatasets(
+    const std::vector<Dataset>& corpus, int top_k, uint64_t seed);
+
+}  // namespace green
+
+#endif  // GREEN_METAOPT_REPRESENTATIVE_H_

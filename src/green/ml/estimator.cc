@@ -1,0 +1,18 @@
+#include "green/ml/estimator.h"
+
+#include "green/common/mathutil.h"
+
+namespace green {
+
+Result<std::vector<int>> Estimator::Predict(const Dataset& data,
+                                            ExecutionContext* ctx) const {
+  GREEN_ASSIGN_OR_RETURN(ProbaMatrix proba, PredictProba(data, ctx));
+  std::vector<int> out;
+  out.reserve(proba.size());
+  for (const auto& row : proba) {
+    out.push_back(static_cast<int>(ArgMax(row)));
+  }
+  return out;
+}
+
+}  // namespace green

@@ -1,0 +1,88 @@
+#ifndef GREEN_ML_ESTIMATOR_H_
+#define GREEN_ML_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "green/common/status.h"
+#include "green/sim/execution_context.h"
+#include "green/table/dataset.h"
+
+namespace green {
+
+/// Class-probability matrix: one row per instance, one column per class.
+using ProbaMatrix = std::vector<std::vector<double>>;
+
+/// Base interface for all classifiers.
+///
+/// Every implementation is *instrumented*: Fit and PredictProba charge the
+/// abstract work they perform through the ExecutionContext, which is what
+/// drives virtual time and energy attribution. A model that does more work
+/// is, by construction, a model that costs more energy — the paper's
+/// central accounting principle.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Trains on `train`. Implementations must tolerate NaN-free data only;
+  /// imputation is a pipeline concern.
+  virtual Status Fit(const Dataset& train, ExecutionContext* ctx) = 0;
+
+  /// Per-instance class probabilities for all rows of `data`.
+  virtual Result<ProbaMatrix> PredictProba(const Dataset& data,
+                                           ExecutionContext* ctx) const = 0;
+
+  /// Hard predictions (argmax of PredictProba by default).
+  virtual Result<std::vector<int>> Predict(const Dataset& data,
+                                           ExecutionContext* ctx) const;
+
+  /// Short identifier, e.g. "random_forest".
+  virtual std::string Name() const = 0;
+
+  /// Abstract work needed to score ONE instance with `num_features`
+  /// features. Used by constraint-aware search (the paper's CAML
+  /// inference-time constraint) and by deployment cost projections.
+  virtual double InferenceFlopsPerRow(size_t num_features) const = 0;
+
+  /// Rough model size proxy (parameters / nodes); reported alongside
+  /// energy so "simpler model" claims are checkable.
+  virtual double ComplexityProxy() const = 0;
+
+  bool fitted() const { return fitted_; }
+  int num_classes() const { return num_classes_; }
+
+ protected:
+  void MarkFitted(int num_classes) {
+    fitted_ = true;
+    num_classes_ = num_classes;
+  }
+
+ private:
+  bool fitted_ = false;
+  int num_classes_ = 0;
+};
+
+/// Base interface for feature transformers (preprocessors).
+class Transformer {
+ public:
+  virtual ~Transformer() = default;
+
+  virtual Status Fit(const Dataset& train, ExecutionContext* ctx) = 0;
+  virtual Result<Dataset> Transform(const Dataset& data,
+                                    ExecutionContext* ctx) const = 0;
+  virtual std::string Name() const = 0;
+
+  /// Abstract per-row transform cost at inference time.
+  virtual double TransformFlopsPerRow(size_t num_features) const = 0;
+
+  /// Output feature count for a given input width (identity by default;
+  /// encoders/selectors override). Valid after Fit.
+  virtual size_t OutputWidth(size_t input_width) const {
+    return input_width;
+  }
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_ESTIMATOR_H_

@@ -1,0 +1,34 @@
+#ifndef GREEN_ML_METRICS_H_
+#define GREEN_ML_METRICS_H_
+
+#include <vector>
+
+#include "green/ml/estimator.h"
+
+namespace green {
+
+/// Fraction of correct predictions.
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted);
+
+/// Mean per-class recall — the paper's primary quality metric because it
+/// "can handle multi-class and unbalanced classification problems".
+/// Classes absent from `truth` are skipped.
+double BalancedAccuracy(const std::vector<int>& truth,
+                        const std::vector<int>& predicted, int num_classes);
+
+/// Multi-class cross-entropy with probability clipping.
+double LogLoss(const std::vector<int>& truth, const ProbaMatrix& proba);
+
+/// Macro-averaged F1.
+double MacroF1(const std::vector<int>& truth,
+               const std::vector<int>& predicted, int num_classes);
+
+/// Row-major confusion matrix: counts[truth][predicted].
+std::vector<std::vector<int>> ConfusionMatrix(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    int num_classes);
+
+}  // namespace green
+
+#endif  // GREEN_ML_METRICS_H_

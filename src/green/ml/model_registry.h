@@ -1,0 +1,63 @@
+#ifndef GREEN_ML_MODEL_REGISTRY_H_
+#define GREEN_ML_MODEL_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "green/common/status.h"
+#include "green/ml/pipeline.h"
+
+namespace green {
+
+/// Declarative description of one ML pipeline: preprocessing switches plus
+/// a model name and its hyperparameters. This is the unit the search
+/// substrate samples and the AutoML systems evaluate.
+struct PipelineConfig {
+  // --- data preprocessing ---
+  bool impute = true;
+  /// "none" | "standard" | "minmax".
+  std::string scaler = "standard";
+  bool one_hot = true;
+  /// 0 disables variance filtering.
+  double variance_threshold = -1.0;
+  /// 0 disables univariate selection; otherwise keep this many features.
+  int select_k_best = 0;
+  /// 0 disables PCA; otherwise project onto this many components.
+  int pca_components = 0;
+  /// Discretize numeric columns into equal-frequency bins.
+  bool quantile_binning = false;
+
+  // --- model ---
+  std::string model = "decision_tree";
+  std::map<std::string, double> params;
+
+  uint64_t seed = 1;
+
+  /// Compact "model(p=v,...)" string for logs and reports.
+  std::string Describe() const;
+};
+
+/// Model names known to the registry.
+const std::vector<std::string>& KnownModels();
+
+/// Builds an unfitted pipeline from a config. Unknown model names or
+/// out-of-domain hyperparameters yield InvalidArgument.
+Result<Pipeline> BuildPipeline(const PipelineConfig& config);
+
+/// Relative single-evaluation training cost estimate for a config on a
+/// dataset of (rows x features) — the prior FLAML-style cost-frugal
+/// search orders candidates by, and the estimate budget policies use.
+double EstimateTrainCost(const PipelineConfig& config, size_t rows,
+                         size_t features, int classes);
+
+/// Relative cost estimate for predicting `predict_rows` instances with a
+/// model of this config trained on `train_rows` rows (matters for
+/// memory-based models like kNN whose inference dominates).
+double EstimatePredictCost(const PipelineConfig& config, size_t train_rows,
+                           size_t predict_rows, size_t features,
+                           int classes);
+
+}  // namespace green
+
+#endif  // GREEN_ML_MODEL_REGISTRY_H_

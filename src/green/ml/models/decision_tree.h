@@ -1,0 +1,75 @@
+#ifndef GREEN_ML_MODELS_DECISION_TREE_H_
+#define GREEN_ML_MODELS_DECISION_TREE_H_
+
+#include <vector>
+
+#include "green/common/rng.h"
+#include "green/ml/estimator.h"
+
+namespace green {
+
+/// CART-style classification tree with Gini impurity.
+///
+/// The paper's tuned CAML repeatedly selects decision trees because "they
+/// can be both simple (shallow and narrow) and complex (deep and wide)" —
+/// the depth/leaf hyperparameters below span exactly that range.
+struct DecisionTreeParams {
+  int max_depth = 8;
+  int min_samples_leaf = 2;
+  /// Features examined per split: 0 = all, otherwise ceil(fraction * d).
+  double max_features_fraction = 0.0;
+  /// If true, thresholds are drawn uniformly at random between the
+  /// feature's node-local min/max instead of exhaustively searched —
+  /// the Extra-Trees randomization.
+  bool random_thresholds = false;
+  uint64_t seed = 1;
+};
+
+class DecisionTree : public Estimator {
+ public:
+  explicit DecisionTree(const DecisionTreeParams& params)
+      : params_(params) {}
+
+  Status Fit(const Dataset& train, ExecutionContext* ctx) override;
+  Result<ProbaMatrix> PredictProba(const Dataset& data,
+                                   ExecutionContext* ctx) const override;
+  std::string Name() const override { return "decision_tree"; }
+  double InferenceFlopsPerRow(size_t num_features) const override;
+  double ComplexityProxy() const override {
+    return static_cast<double>(nodes_.size());
+  }
+
+  /// Ensemble-internal entry points: train/score on behalf of a parent
+  /// that does its own (parallel) work accounting. `flops` accumulates
+  /// the abstract work performed.
+  Status FitCounted(const Dataset& train,
+                    const std::vector<size_t>& row_indices, Rng* rng,
+                    double* flops);
+  void PredictProbaCounted(const Dataset& data, ProbaMatrix* out,
+                           double* flops) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  double mean_leaf_depth() const { return mean_leaf_depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;           ///< -1 marks a leaf.
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    std::vector<double> proba;  ///< Leaf class distribution.
+  };
+
+  int BuildNode(const Dataset& train, std::vector<size_t>* rows, int depth,
+                Rng* rng, double* flops);
+  const std::vector<double>& RowProba(const Dataset& data, size_t row,
+                                      double* flops) const;
+
+  DecisionTreeParams params_;
+  std::vector<Node> nodes_;
+  double mean_leaf_depth_ = 0.0;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_MODELS_DECISION_TREE_H_

@@ -1,0 +1,91 @@
+#include "green/ml/models/logistic_regression.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "green/common/mathutil.h"
+#include "green/common/rng.h"
+
+namespace green {
+
+Status LogisticRegression::Fit(const Dataset& train,
+                               ExecutionContext* ctx) {
+  const size_t n = train.num_rows();
+  const size_t d = train.num_features();
+  const int k = train.num_classes();
+  if (n == 0) return Status::InvalidArgument("logreg: empty training data");
+
+  num_features_ = d;
+  weights_.assign(static_cast<size_t>(k) * (d + 1), 0.0);
+  Rng rng(params_.seed);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> logits(static_cast<size_t>(k));
+  double flops = 0.0;
+
+  const size_t batch =
+      std::max<size_t>(1, static_cast<size_t>(params_.batch_size));
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr = params_.learning_rate /
+                      (1.0 + 0.1 * static_cast<double>(epoch));
+    for (size_t start = 0; start < n; start += batch) {
+      const size_t end = std::min(n, start + batch);
+      for (size_t i = start; i < end; ++i) {
+        const size_t r = order[i];
+        const double* x = train.RowPtr(r);
+        for (int c = 0; c < k; ++c) {
+          const double* w = &weights_[static_cast<size_t>(c) * (d + 1)];
+          double z = w[d];  // Bias.
+          for (size_t j = 0; j < d; ++j) z += w[j] * x[j];
+          logits[static_cast<size_t>(c)] = z;
+        }
+        SoftmaxInPlace(&logits);
+        for (int c = 0; c < k; ++c) {
+          const double err = logits[static_cast<size_t>(c)] -
+                             (train.Label(r) == c ? 1.0 : 0.0);
+          double* w = &weights_[static_cast<size_t>(c) * (d + 1)];
+          for (size_t j = 0; j < d; ++j) {
+            w[j] -= lr * (err * x[j] + params_.l2 * w[j]);
+          }
+          w[d] -= lr * err;
+        }
+        flops += 4.0 * static_cast<double>(k) * static_cast<double>(d + 1);
+      }
+    }
+  }
+  // Mini-batch SGD parallelizes only within a batch.
+  ctx->ChargeCpu(flops, train.FeatureBytes(), /*parallel_fraction=*/0.5);
+  MarkFitted(k);
+  return Status::Ok();
+}
+
+Result<ProbaMatrix> LogisticRegression::PredictProba(
+    const Dataset& data, ExecutionContext* ctx) const {
+  if (!fitted()) return Status::FailedPrecondition("logreg not fitted");
+  if (data.num_features() != num_features_) {
+    return Status::InvalidArgument("logreg: feature count mismatch");
+  }
+  const size_t d = num_features_;
+  const int k = num_classes();
+  ProbaMatrix out(data.num_rows());
+  double flops = 0.0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    const double* x = data.RowPtr(r);
+    std::vector<double> logits(static_cast<size_t>(k));
+    for (int c = 0; c < k; ++c) {
+      const double* w = &weights_[static_cast<size_t>(c) * (d + 1)];
+      double z = w[d];
+      for (size_t j = 0; j < d; ++j) z += w[j] * x[j];
+      logits[static_cast<size_t>(c)] = z;
+    }
+    SoftmaxInPlace(&logits);
+    out[r] = std::move(logits);
+    flops += 2.0 * static_cast<double>(k) * static_cast<double>(d + 1);
+  }
+  ctx->ChargeCpu(flops, data.FeatureBytes(), /*parallel_fraction=*/0.9);
+  return out;
+}
+
+}  // namespace green

@@ -1,0 +1,48 @@
+#ifndef GREEN_ML_MODELS_LOGISTIC_REGRESSION_H_
+#define GREEN_ML_MODELS_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "green/ml/estimator.h"
+
+namespace green {
+
+/// Multinomial logistic regression trained with mini-batch SGD and L2
+/// regularization. Cheap to train and extremely cheap at inference
+/// (one dense d x k product per row) — the "simple linear model" end of
+/// the energy/quality spectrum.
+struct LogisticRegressionParams {
+  int epochs = 30;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  int batch_size = 32;
+  uint64_t seed = 1;
+};
+
+class LogisticRegression : public Estimator {
+ public:
+  explicit LogisticRegression(const LogisticRegressionParams& params)
+      : params_(params) {}
+
+  Status Fit(const Dataset& train, ExecutionContext* ctx) override;
+  Result<ProbaMatrix> PredictProba(const Dataset& data,
+                                   ExecutionContext* ctx) const override;
+  std::string Name() const override { return "logistic_regression"; }
+  double InferenceFlopsPerRow(size_t num_features) const override {
+    return 2.0 * static_cast<double>(num_features) *
+           static_cast<double>(num_classes());
+  }
+  double ComplexityProxy() const override {
+    return static_cast<double>(weights_.size());
+  }
+
+ private:
+  LogisticRegressionParams params_;
+  size_t num_features_ = 0;
+  /// Row-major (k x (d+1)); last column is the bias.
+  std::vector<double> weights_;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_MODELS_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,118 @@
+#include "green/ml/models/mlp.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "green/common/mathutil.h"
+#include "green/common/rng.h"
+
+namespace green {
+
+void Mlp::Forward(const double* x, std::vector<double>* hidden,
+                  std::vector<double>* logits) const {
+  const size_t d = num_features_;
+  const size_t h = static_cast<size_t>(params_.hidden_units);
+  const size_t k = logits->size();
+  for (size_t i = 0; i < h; ++i) {
+    const double* w = &w1_[i * (d + 1)];
+    double z = w[d];
+    for (size_t j = 0; j < d; ++j) z += w[j] * x[j];
+    (*hidden)[i] = z > 0.0 ? z : 0.0;  // ReLU.
+  }
+  for (size_t c = 0; c < k; ++c) {
+    const double* w = &w2_[c * (h + 1)];
+    double z = w[h];
+    for (size_t i = 0; i < h; ++i) z += w[i] * (*hidden)[i];
+    (*logits)[c] = z;
+  }
+}
+
+Status Mlp::Fit(const Dataset& train, ExecutionContext* ctx) {
+  const size_t n = train.num_rows();
+  const size_t d = train.num_features();
+  const size_t h = static_cast<size_t>(params_.hidden_units);
+  const int k = train.num_classes();
+  if (n == 0) return Status::InvalidArgument("mlp: empty training data");
+
+  num_features_ = d;
+  Rng rng(params_.seed);
+  w1_.resize(h * (d + 1));
+  w2_.resize(static_cast<size_t>(k) * (h + 1));
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(d + 1));
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(h + 1));
+  for (double& w : w1_) w = rng.NextGaussian() * scale1;
+  for (double& w : w2_) w = rng.NextGaussian() * scale2;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> hidden(h);
+  std::vector<double> logits(static_cast<size_t>(k));
+  std::vector<double> dhidden(h);
+  double flops = 0.0;
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr = params_.learning_rate /
+                      (1.0 + 0.05 * static_cast<double>(epoch));
+    for (size_t idx = 0; idx < n; ++idx) {
+      const size_t r = order[idx];
+      const double* x = train.RowPtr(r);
+      Forward(x, &hidden, &logits);
+      SoftmaxInPlace(&logits);
+
+      // Output-layer gradient and hidden backprop.
+      std::fill(dhidden.begin(), dhidden.end(), 0.0);
+      for (int c = 0; c < k; ++c) {
+        const size_t cc = static_cast<size_t>(c);
+        const double err =
+            logits[cc] - (train.Label(r) == c ? 1.0 : 0.0);
+        double* w = &w2_[cc * (h + 1)];
+        for (size_t i = 0; i < h; ++i) {
+          dhidden[i] += err * w[i];
+          w[i] -= lr * (err * hidden[i] + params_.l2 * w[i]);
+        }
+        w[h] -= lr * err;
+      }
+      for (size_t i = 0; i < h; ++i) {
+        if (hidden[i] <= 0.0) continue;  // ReLU derivative.
+        double* w = &w1_[i * (d + 1)];
+        const double g = dhidden[i];
+        for (size_t j = 0; j < d; ++j) {
+          w[j] -= lr * (g * x[j] + params_.l2 * w[j]);
+        }
+        w[d] -= lr * g;
+      }
+      flops += 4.0 * (static_cast<double>(h) * static_cast<double>(d + 1) +
+                      static_cast<double>(k) * static_cast<double>(h + 1));
+    }
+  }
+  ctx->ChargeCpu(flops, train.FeatureBytes(), /*parallel_fraction=*/0.6);
+  MarkFitted(k);
+  return Status::Ok();
+}
+
+Result<ProbaMatrix> Mlp::PredictProba(const Dataset& data,
+                                      ExecutionContext* ctx) const {
+  if (!fitted()) return Status::FailedPrecondition("mlp not fitted");
+  if (data.num_features() != num_features_) {
+    return Status::InvalidArgument("mlp: feature count mismatch");
+  }
+  const size_t h = static_cast<size_t>(params_.hidden_units);
+  const int k = num_classes();
+  ProbaMatrix out(data.num_rows());
+  std::vector<double> hidden(h);
+  double flops = 0.0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    std::vector<double> logits(static_cast<size_t>(k));
+    Forward(data.RowPtr(r), &hidden, &logits);
+    SoftmaxInPlace(&logits);
+    out[r] = std::move(logits);
+    flops += 2.0 * (static_cast<double>(h) *
+                        static_cast<double>(num_features_ + 1) +
+                    static_cast<double>(k) * static_cast<double>(h + 1));
+  }
+  ctx->ChargeCpu(flops, data.FeatureBytes(), /*parallel_fraction=*/0.9);
+  return out;
+}
+
+}  // namespace green

@@ -1,0 +1,53 @@
+#ifndef GREEN_ML_MODELS_MLP_H_
+#define GREEN_ML_MODELS_MLP_H_
+
+#include <vector>
+
+#include "green/ml/estimator.h"
+
+namespace green {
+
+/// Single-hidden-layer multilayer perceptron (ReLU + softmax) trained
+/// with SGD. The expensive-to-train, moderately-expensive-to-serve model
+/// family; the paper's tuned CAML only admits MLPs at the 5-minute budget.
+struct MlpParams {
+  int hidden_units = 32;
+  int epochs = 40;
+  double learning_rate = 0.05;
+  double l2 = 1e-5;
+  int batch_size = 32;
+  uint64_t seed = 1;
+};
+
+class Mlp : public Estimator {
+ public:
+  explicit Mlp(const MlpParams& params) : params_(params) {}
+
+  Status Fit(const Dataset& train, ExecutionContext* ctx) override;
+  Result<ProbaMatrix> PredictProba(const Dataset& data,
+                                   ExecutionContext* ctx) const override;
+  std::string Name() const override { return "mlp"; }
+  double InferenceFlopsPerRow(size_t num_features) const override {
+    return 2.0 * static_cast<double>(num_features) *
+               static_cast<double>(params_.hidden_units) +
+           2.0 * static_cast<double>(params_.hidden_units) *
+               static_cast<double>(num_classes());
+  }
+  double ComplexityProxy() const override {
+    return static_cast<double>(w1_.size() + w2_.size());
+  }
+
+ private:
+  void Forward(const double* x, std::vector<double>* hidden,
+               std::vector<double>* logits) const;
+
+  MlpParams params_;
+  size_t num_features_ = 0;
+  /// w1: (hidden x (d+1)), w2: (k x (hidden+1)); last columns are biases.
+  std::vector<double> w1_;
+  std::vector<double> w2_;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_MODELS_MLP_H_

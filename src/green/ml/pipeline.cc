@@ -1,0 +1,71 @@
+#include "green/ml/pipeline.h"
+
+#include "green/common/stringutil.h"
+
+namespace green {
+
+void Pipeline::AddTransformer(std::unique_ptr<Transformer> transformer) {
+  transformers_.push_back(std::move(transformer));
+}
+
+void Pipeline::SetModel(std::unique_ptr<Estimator> model) {
+  model_ = std::move(model);
+}
+
+Status Pipeline::Fit(const Dataset& train, ExecutionContext* ctx) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("pipeline has no model");
+  }
+  fitted_input_width_ = train.num_features();
+  Dataset current = train;
+  for (auto& t : transformers_) {
+    GREEN_RETURN_IF_ERROR(t->Fit(current, ctx));
+    GREEN_ASSIGN_OR_RETURN(current, t->Transform(current, ctx));
+  }
+  GREEN_RETURN_IF_ERROR(model_->Fit(current, ctx));
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<Dataset> Pipeline::RunTransforms(const Dataset& data,
+                                        ExecutionContext* ctx) const {
+  Dataset current = data;
+  for (const auto& t : transformers_) {
+    GREEN_ASSIGN_OR_RETURN(current, t->Transform(current, ctx));
+  }
+  return current;
+}
+
+Result<ProbaMatrix> Pipeline::PredictProba(const Dataset& data,
+                                           ExecutionContext* ctx) const {
+  if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  GREEN_ASSIGN_OR_RETURN(Dataset transformed, RunTransforms(data, ctx));
+  return model_->PredictProba(transformed, ctx);
+}
+
+Result<std::vector<int>> Pipeline::Predict(const Dataset& data,
+                                           ExecutionContext* ctx) const {
+  if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  GREEN_ASSIGN_OR_RETURN(Dataset transformed, RunTransforms(data, ctx));
+  return model_->Predict(transformed, ctx);
+}
+
+std::string Pipeline::Describe() const {
+  std::vector<std::string> parts;
+  for (const auto& t : transformers_) parts.push_back(t->Name());
+  parts.push_back(model_ ? model_->Name() : "<none>");
+  return Join(parts, "|");
+}
+
+double Pipeline::InferenceFlopsPerRow(size_t raw_num_features) const {
+  double flops = 0.0;
+  size_t width = raw_num_features;
+  for (const auto& t : transformers_) {
+    flops += t->TransformFlopsPerRow(width);
+    width = t->OutputWidth(width);
+  }
+  if (model_ != nullptr) flops += model_->InferenceFlopsPerRow(width);
+  return flops;
+}
+
+}  // namespace green

@@ -1,0 +1,60 @@
+#ifndef GREEN_ML_PIPELINE_H_
+#define GREEN_ML_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "green/ml/estimator.h"
+
+namespace green {
+
+/// A preprocessing chain followed by a classifier — the unit every AutoML
+/// system in the paper searches over ("ML pipeline").
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  void AddTransformer(std::unique_ptr<Transformer> transformer);
+  void SetModel(std::unique_ptr<Estimator> model);
+
+  /// Fits transformers left-to-right, then the model, charging all work.
+  Status Fit(const Dataset& train, ExecutionContext* ctx);
+
+  Result<ProbaMatrix> PredictProba(const Dataset& data,
+                                   ExecutionContext* ctx) const;
+  Result<std::vector<int>> Predict(const Dataset& data,
+                                   ExecutionContext* ctx) const;
+
+  /// "prep1|prep2|model" — used in reports and search logs.
+  std::string Describe() const;
+
+  /// Total abstract inference work per scored row (transformers + model),
+  /// the quantity CAML's inference-time constraint bounds.
+  double InferenceFlopsPerRow(size_t raw_num_features) const;
+
+  double ModelComplexity() const {
+    return model_ ? model_->ComplexityProxy() : 0.0;
+  }
+  bool fitted() const { return fitted_; }
+  const Estimator* model() const { return model_.get(); }
+  size_t num_transformers() const { return transformers_.size(); }
+
+ private:
+  Result<Dataset> RunTransforms(const Dataset& data,
+                                ExecutionContext* ctx) const;
+
+  std::vector<std::unique_ptr<Transformer>> transformers_;
+  std::unique_ptr<Estimator> model_;
+  bool fitted_ = false;
+  size_t fitted_input_width_ = 0;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_PIPELINE_H_

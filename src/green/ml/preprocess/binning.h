@@ -1,0 +1,44 @@
+#ifndef GREEN_ML_PREPROCESS_BINNING_H_
+#define GREEN_ML_PREPROCESS_BINNING_H_
+
+#include <vector>
+
+#include "green/ml/estimator.h"
+
+namespace green {
+
+/// Quantile discretizer: numeric columns are mapped to integer bin codes
+/// [0, num_bins) with equal-frequency boundaries learned on the training
+/// data (sklearn's KBinsDiscretizer with the quantile strategy).
+/// Categorical columns pass through unchanged. Binning is both a
+/// robustness device (monotone-invariant, outlier-proof) and an energy
+/// device: downstream trees split on tiny cardinalities.
+class QuantileBinner : public Transformer {
+ public:
+  explicit QuantileBinner(int num_bins = 8) : num_bins_(num_bins) {}
+
+  Status Fit(const Dataset& train, ExecutionContext* ctx) override;
+  Result<Dataset> Transform(const Dataset& data,
+                            ExecutionContext* ctx) const override;
+  std::string Name() const override { return "quantile_binner"; }
+  double TransformFlopsPerRow(size_t num_features) const override {
+    return static_cast<double>(num_features) *
+           std::max(1.0, std::log2(static_cast<double>(num_bins_)));
+  }
+
+  int num_bins() const { return num_bins_; }
+  /// Bin edges of column j (empty for pass-through columns).
+  const std::vector<double>& edges(size_t j) const { return edges_[j]; }
+
+ private:
+  int num_bins_;
+  size_t input_width_ = 0;
+  /// Per column: ascending inner edges (size num_bins-1), or empty for
+  /// categorical pass-through.
+  std::vector<std::vector<double>> edges_;
+  bool fitted_ = false;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_PREPROCESS_BINNING_H_

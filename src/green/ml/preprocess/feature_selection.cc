@@ -1,0 +1,114 @@
+#include "green/ml/preprocess/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace green {
+
+namespace {
+
+Result<Dataset> KeepColumns(const Dataset& data,
+                            const std::vector<size_t>& keep,
+                            size_t input_width, bool fitted,
+                            ExecutionContext* ctx) {
+  if (!fitted) return Status::FailedPrecondition("selector not fitted");
+  if (data.num_features() != input_width) {
+    return Status::InvalidArgument("selector: feature count mismatch");
+  }
+  Dataset out = data.SelectFeatures(keep);
+  ctx->ChargeCpu(static_cast<double>(data.num_rows() * keep.size()),
+                 out.FeatureBytes());
+  return out;
+}
+
+}  // namespace
+
+Status VarianceThreshold::Fit(const Dataset& train, ExecutionContext* ctx) {
+  const size_t n = train.num_rows();
+  const size_t d = train.num_features();
+  if (n == 0) return Status::InvalidArgument("selector: empty dataset");
+  input_width_ = d;
+  keep_.clear();
+  for (size_t j = 0; j < d; ++j) {
+    double sum = 0.0;
+    for (size_t r = 0; r < n; ++r) sum += train.At(r, j);
+    const double mean = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const double dlt = train.At(r, j) - mean;
+      var += dlt * dlt;
+    }
+    var /= static_cast<double>(n);
+    if (var > threshold_) keep_.push_back(j);
+  }
+  if (keep_.empty()) keep_.push_back(0);  // Never emit a zero-width table.
+  ctx->ChargeCpu(2.0 * static_cast<double>(n * d), train.FeatureBytes());
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<Dataset> VarianceThreshold::Transform(const Dataset& data,
+                                             ExecutionContext* ctx) const {
+  return KeepColumns(data, keep_, input_width_, fitted_, ctx);
+}
+
+Status SelectKBest::Fit(const Dataset& train, ExecutionContext* ctx) {
+  const size_t n = train.num_rows();
+  const size_t d = train.num_features();
+  const int k_classes = train.num_classes();
+  if (n == 0) return Status::InvalidArgument("selector: empty dataset");
+  input_width_ = d;
+
+  std::vector<double> scores(d, 0.0);
+  const std::vector<int> counts = train.ClassCounts();
+  for (size_t j = 0; j < d; ++j) {
+    // Per-class means.
+    std::vector<double> class_sum(static_cast<size_t>(k_classes), 0.0);
+    double total_sum = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const double v = train.At(r, j);
+      class_sum[static_cast<size_t>(train.Label(r))] += v;
+      total_sum += v;
+    }
+    const double grand_mean = total_sum / static_cast<double>(n);
+    double between = 0.0;
+    for (int c = 0; c < k_classes; ++c) {
+      const size_t cc = static_cast<size_t>(c);
+      if (counts[cc] == 0) continue;
+      const double mu = class_sum[cc] / static_cast<double>(counts[cc]);
+      between += static_cast<double>(counts[cc]) * (mu - grand_mean) *
+                 (mu - grand_mean);
+    }
+    double within = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const size_t cc = static_cast<size_t>(train.Label(r));
+      const double mu = counts[cc] > 0
+                            ? class_sum[cc] / static_cast<double>(counts[cc])
+                            : grand_mean;
+      const double dlt = train.At(r, j) - mu;
+      within += dlt * dlt;
+    }
+    scores[j] = between / (within + 1e-12);
+  }
+
+  std::vector<size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  const size_t take = std::max<size_t>(1, std::min(k_, d));
+  keep_.assign(order.begin(), order.begin() + take);
+  std::sort(keep_.begin(), keep_.end());
+
+  ctx->ChargeCpu(3.0 * static_cast<double>(n * d), train.FeatureBytes());
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<Dataset> SelectKBest::Transform(const Dataset& data,
+                                       ExecutionContext* ctx) const {
+  return KeepColumns(data, keep_, input_width_, fitted_, ctx);
+}
+
+}  // namespace green

@@ -1,0 +1,67 @@
+#ifndef GREEN_ML_PREPROCESS_FEATURE_SELECTION_H_
+#define GREEN_ML_PREPROCESS_FEATURE_SELECTION_H_
+
+#include <vector>
+
+#include "green/ml/estimator.h"
+
+namespace green {
+
+/// Drops features whose variance is at or below `threshold`.
+class VarianceThreshold : public Transformer {
+ public:
+  explicit VarianceThreshold(double threshold = 0.0)
+      : threshold_(threshold) {}
+
+  Status Fit(const Dataset& train, ExecutionContext* ctx) override;
+  Result<Dataset> Transform(const Dataset& data,
+                            ExecutionContext* ctx) const override;
+  std::string Name() const override { return "variance_threshold"; }
+  double TransformFlopsPerRow(size_t num_features) const override {
+    return static_cast<double>(keep_.size());
+  }
+
+  size_t OutputWidth(size_t input_width) const override {
+    return keep_.empty() ? input_width : keep_.size();
+  }
+
+  const std::vector<size_t>& kept_columns() const { return keep_; }
+
+ private:
+  double threshold_;
+  std::vector<size_t> keep_;
+  size_t input_width_ = 0;
+  bool fitted_ = false;
+};
+
+/// Keeps the k features with the highest ANOVA-style F score
+/// (between-class variance over within-class variance) — the classic
+/// univariate filter FLAML's feature pruning resembles.
+class SelectKBest : public Transformer {
+ public:
+  explicit SelectKBest(size_t k) : k_(k) {}
+
+  Status Fit(const Dataset& train, ExecutionContext* ctx) override;
+  Result<Dataset> Transform(const Dataset& data,
+                            ExecutionContext* ctx) const override;
+  std::string Name() const override { return "select_k_best"; }
+  double TransformFlopsPerRow(size_t num_features) const override {
+    return static_cast<double>(keep_.size());
+  }
+
+  size_t OutputWidth(size_t input_width) const override {
+    return keep_.empty() ? input_width : keep_.size();
+  }
+
+  const std::vector<size_t>& kept_columns() const { return keep_; }
+
+ private:
+  size_t k_;
+  std::vector<size_t> keep_;
+  size_t input_width_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_PREPROCESS_FEATURE_SELECTION_H_

@@ -1,0 +1,65 @@
+#include "green/ml/preprocess/imputer.h"
+
+#include <cmath>
+#include <map>
+
+namespace green {
+
+Status MeanModeImputer::Fit(const Dataset& train, ExecutionContext* ctx) {
+  const size_t n = train.num_rows();
+  const size_t d = train.num_features();
+  if (n == 0) return Status::InvalidArgument("imputer: empty dataset");
+  fill_values_.assign(d, 0.0);
+
+  for (size_t j = 0; j < d; ++j) {
+    if (train.feature_type(j) == FeatureType::kCategorical) {
+      std::map<int, int> counts;
+      for (size_t r = 0; r < n; ++r) {
+        const double v = train.At(r, j);
+        if (!std::isnan(v)) ++counts[static_cast<int>(v)];
+      }
+      int best_code = 0;
+      int best_count = -1;
+      for (const auto& [code, count] : counts) {
+        if (count > best_count) {
+          best_count = count;
+          best_code = code;
+        }
+      }
+      fill_values_[j] = static_cast<double>(best_code);
+    } else {
+      double sum = 0.0;
+      size_t seen = 0;
+      for (size_t r = 0; r < n; ++r) {
+        const double v = train.At(r, j);
+        if (!std::isnan(v)) {
+          sum += v;
+          ++seen;
+        }
+      }
+      fill_values_[j] = seen > 0 ? sum / static_cast<double>(seen) : 0.0;
+    }
+  }
+  ctx->ChargeCpu(static_cast<double>(n * d), static_cast<double>(n * d) * 8);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<Dataset> MeanModeImputer::Transform(const Dataset& data,
+                                           ExecutionContext* ctx) const {
+  if (!fitted_) return Status::FailedPrecondition("imputer not fitted");
+  if (data.num_features() != fill_values_.size()) {
+    return Status::InvalidArgument("imputer: feature count mismatch");
+  }
+  Dataset out = data;
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    for (size_t j = 0; j < out.num_features(); ++j) {
+      if (std::isnan(out.At(r, j))) out.Set(r, j, fill_values_[j]);
+    }
+  }
+  ctx->ChargeCpu(static_cast<double>(out.num_rows() * out.num_features()),
+                 out.FeatureBytes());
+  return out;
+}
+
+}  // namespace green

@@ -1,0 +1,32 @@
+#ifndef GREEN_ML_PREPROCESS_IMPUTER_H_
+#define GREEN_ML_PREPROCESS_IMPUTER_H_
+
+#include <vector>
+
+#include "green/ml/estimator.h"
+
+namespace green {
+
+/// Replaces missing values with the column mean (numeric) or the most
+/// frequent category (categorical). The first data-preprocessing step of
+/// every ASKL/CAML-style pipeline.
+class MeanModeImputer : public Transformer {
+ public:
+  Status Fit(const Dataset& train, ExecutionContext* ctx) override;
+  Result<Dataset> Transform(const Dataset& data,
+                            ExecutionContext* ctx) const override;
+  std::string Name() const override { return "imputer"; }
+  double TransformFlopsPerRow(size_t num_features) const override {
+    return static_cast<double>(num_features);
+  }
+
+  const std::vector<double>& fill_values() const { return fill_values_; }
+
+ private:
+  std::vector<double> fill_values_;
+  bool fitted_ = false;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_PREPROCESS_IMPUTER_H_

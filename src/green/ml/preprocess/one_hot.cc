@@ -1,0 +1,90 @@
+#include "green/ml/preprocess/one_hot.h"
+
+#include <cmath>
+
+#include "green/common/stringutil.h"
+
+namespace green {
+
+Status OneHotEncoder::Fit(const Dataset& train, ExecutionContext* ctx) {
+  const size_t d = train.num_features();
+  input_width_ = d;
+  cardinality_.assign(d, 0);
+  output_width_ = 0;
+  for (size_t j = 0; j < d; ++j) {
+    if (train.feature_type(j) == FeatureType::kCategorical) {
+      int card = 0;
+      for (size_t r = 0; r < train.num_rows(); ++r) {
+        const double v = train.At(r, j);
+        if (!std::isnan(v)) {
+          card = std::max(card, static_cast<int>(v) + 1);
+        }
+      }
+      if (card >= 2 && card <= max_cardinality_) {
+        cardinality_[j] = card;
+        output_width_ += static_cast<size_t>(card);
+        continue;
+      }
+    }
+    output_width_ += 1;  // Pass-through.
+  }
+  ctx->ChargeCpu(static_cast<double>(train.num_rows() * d),
+                 train.FeatureBytes());
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<Dataset> OneHotEncoder::Transform(const Dataset& data,
+                                         ExecutionContext* ctx) const {
+  if (!fitted_) return Status::FailedPrecondition("one_hot not fitted");
+  if (data.num_features() != input_width_) {
+    return Status::InvalidArgument("one_hot: feature count mismatch");
+  }
+  Dataset out(data.name(), output_width_, data.num_classes());
+  out.SetNominalSize(data.nominal_rows(), data.nominal_features());
+
+  // Name and type the output columns once.
+  {
+    size_t o = 0;
+    for (size_t j = 0; j < input_width_; ++j) {
+      if (cardinality_[j] == 0) {
+        out.SetFeatureName(o, data.feature_name(j));
+        out.SetFeatureType(o, FeatureType::kNumeric);
+        ++o;
+      } else {
+        for (int c = 0; c < cardinality_[j]; ++c) {
+          out.SetFeatureName(
+              o, StrFormat("%s=%d", data.feature_name(j).c_str(), c));
+          out.SetFeatureType(o, FeatureType::kNumeric);
+          ++o;
+        }
+      }
+    }
+  }
+
+  std::vector<double> row(output_width_);
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    size_t o = 0;
+    for (size_t j = 0; j < input_width_; ++j) {
+      const double v = data.At(r, j);
+      if (cardinality_[j] == 0) {
+        row[o++] = v;
+      } else {
+        for (int c = 0; c < cardinality_[j]; ++c) row[o + c] = 0.0;
+        if (!std::isnan(v)) {
+          const int code = static_cast<int>(v);
+          if (code >= 0 && code < cardinality_[j]) {
+            row[o + static_cast<size_t>(code)] = 1.0;
+          }
+        }
+        o += static_cast<size_t>(cardinality_[j]);
+      }
+    }
+    GREEN_RETURN_IF_ERROR(out.AppendRow(row, data.Label(r)));
+  }
+  ctx->ChargeCpu(static_cast<double>(data.num_rows() * output_width_),
+                 out.FeatureBytes());
+  return out;
+}
+
+}  // namespace green

@@ -1,0 +1,119 @@
+#include "green/ml/preprocess/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "green/common/rng.h"
+
+namespace green {
+
+Status Pca::Fit(const Dataset& train, ExecutionContext* ctx) {
+  const size_t n = train.num_rows();
+  const size_t d = train.num_features();
+  if (n < 2) return Status::InvalidArgument("pca: need at least 2 rows");
+  input_width_ = d;
+  const size_t k = std::max<size_t>(1, std::min(num_components_, d));
+
+  // Column means.
+  mean_.assign(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < d; ++j) mean_[j] += train.At(r, j);
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+
+  // Centered data copy (n x d) for repeated products.
+  std::vector<double> x(n * d);
+  double total_variance = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < d; ++j) {
+      const double v = train.At(r, j) - mean_[j];
+      x[r * d + j] = v;
+      total_variance += v * v;
+    }
+  }
+  total_variance /= static_cast<double>(n - 1);
+
+  Rng rng(seed_);
+  components_.assign(k * d, 0.0);
+  explained_variance_ratio_.assign(k, 0.0);
+  double flops = static_cast<double>(n * d) * 2.0;
+
+  std::vector<double> scores(n);
+  for (size_t c = 0; c < k; ++c) {
+    // Power iteration on X^T X with deflation through residualized X.
+    std::vector<double> v(d);
+    for (double& vi : v) vi = rng.NextGaussian();
+    for (int it = 0; it < power_iterations_; ++it) {
+      // scores = X v; v' = X^T scores; normalize.
+      for (size_t r = 0; r < n; ++r) {
+        double s = 0.0;
+        const double* row = &x[r * d];
+        for (size_t j = 0; j < d; ++j) s += row[j] * v[j];
+        scores[r] = s;
+      }
+      std::vector<double> next(d, 0.0);
+      for (size_t r = 0; r < n; ++r) {
+        const double* row = &x[r * d];
+        for (size_t j = 0; j < d; ++j) next[j] += row[j] * scores[r];
+      }
+      double norm = 0.0;
+      for (double nj : next) norm += nj * nj;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;  // Residual variance exhausted.
+      for (size_t j = 0; j < d; ++j) v[j] = next[j] / norm;
+      flops += 4.0 * static_cast<double>(n * d);
+    }
+    // Component variance and deflation.
+    double variance = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      double s = 0.0;
+      const double* row = &x[r * d];
+      for (size_t j = 0; j < d; ++j) s += row[j] * v[j];
+      scores[r] = s;
+      variance += s * s;
+    }
+    variance /= static_cast<double>(n - 1);
+    for (size_t r = 0; r < n; ++r) {
+      double* row = &x[r * d];
+      for (size_t j = 0; j < d; ++j) row[j] -= scores[r] * v[j];
+    }
+    flops += 4.0 * static_cast<double>(n * d);
+    std::copy(v.begin(), v.end(), components_.begin() + c * d);
+    explained_variance_ratio_[c] =
+        total_variance > 1e-12 ? variance / total_variance : 0.0;
+  }
+  components_fitted_ = k;
+  ctx->ChargeCpu(flops, static_cast<double>(n * d) * 8,
+                 /*parallel_fraction=*/0.85);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<Dataset> Pca::Transform(const Dataset& data,
+                               ExecutionContext* ctx) const {
+  if (!fitted_) return Status::FailedPrecondition("pca not fitted");
+  if (data.num_features() != input_width_) {
+    return Status::InvalidArgument("pca: feature count mismatch");
+  }
+  Dataset out(data.name(), components_fitted_, data.num_classes());
+  out.SetNominalSize(data.nominal_rows(), data.nominal_features());
+  std::vector<double> row(components_fitted_);
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t c = 0; c < components_fitted_; ++c) {
+      const double* comp = &components_[c * input_width_];
+      double s = 0.0;
+      for (size_t j = 0; j < input_width_; ++j) {
+        s += (data.At(r, j) - mean_[j]) * comp[j];
+      }
+      row[c] = s;
+    }
+    GREEN_RETURN_IF_ERROR(out.AppendRow(row, data.Label(r)));
+  }
+  ctx->ChargeCpu(2.0 * static_cast<double>(data.num_rows() *
+                                           input_width_ *
+                                           components_fitted_),
+                 out.FeatureBytes(), /*parallel_fraction=*/0.9);
+  return out;
+}
+
+}  // namespace green

@@ -1,0 +1,56 @@
+#ifndef GREEN_ML_PREPROCESS_PCA_H_
+#define GREEN_ML_PREPROCESS_PCA_H_
+
+#include <vector>
+
+#include "green/ml/estimator.h"
+
+namespace green {
+
+/// Principal-component projection onto the top `num_components`
+/// directions, fitted by power iteration with deflation on the (centered)
+/// covariance. One of AutoSklearn's feature preprocessors; dimensionality
+/// reduction trades a one-off fitting cost for cheaper inference on wide
+/// tables.
+class Pca : public Transformer {
+ public:
+  explicit Pca(size_t num_components, int power_iterations = 30,
+               uint64_t seed = 1)
+      : num_components_(num_components),
+        power_iterations_(power_iterations),
+        seed_(seed) {}
+
+  Status Fit(const Dataset& train, ExecutionContext* ctx) override;
+  Result<Dataset> Transform(const Dataset& data,
+                            ExecutionContext* ctx) const override;
+  std::string Name() const override { return "pca"; }
+  double TransformFlopsPerRow(size_t num_features) const override {
+    return 2.0 * static_cast<double>(num_features) *
+           static_cast<double>(components_fitted_);
+  }
+  size_t OutputWidth(size_t input_width) const override {
+    return components_fitted_ > 0 ? components_fitted_ : input_width;
+  }
+
+  /// Fraction of total variance captured by each fitted component.
+  const std::vector<double>& explained_variance_ratio() const {
+    return explained_variance_ratio_;
+  }
+  size_t components_fitted() const { return components_fitted_; }
+
+ private:
+  size_t num_components_;
+  int power_iterations_;
+  uint64_t seed_;
+  size_t input_width_ = 0;
+  size_t components_fitted_ = 0;
+  std::vector<double> mean_;
+  /// Row-major (components x input_width).
+  std::vector<double> components_;
+  std::vector<double> explained_variance_ratio_;
+  bool fitted_ = false;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_PREPROCESS_PCA_H_

@@ -1,0 +1,67 @@
+#include "green/ml/preprocess/scaler.h"
+
+#include <cmath>
+
+namespace green {
+
+Status Scaler::Fit(const Dataset& train, ExecutionContext* ctx) {
+  const size_t n = train.num_rows();
+  const size_t d = train.num_features();
+  if (n == 0) return Status::InvalidArgument("scaler: empty dataset");
+  offset_.assign(d, 0.0);
+  scale_.assign(d, 1.0);
+  apply_.assign(d, false);
+
+  for (size_t j = 0; j < d; ++j) {
+    if (train.feature_type(j) == FeatureType::kCategorical) continue;
+    apply_[j] = true;
+    if (kind_ == ScalerKind::kStandard) {
+      double sum = 0.0;
+      for (size_t r = 0; r < n; ++r) sum += train.At(r, j);
+      const double mean = sum / static_cast<double>(n);
+      double var = 0.0;
+      for (size_t r = 0; r < n; ++r) {
+        const double dlt = train.At(r, j) - mean;
+        var += dlt * dlt;
+      }
+      var /= static_cast<double>(n);
+      offset_[j] = mean;
+      scale_[j] = var > 1e-12 ? std::sqrt(var) : 1.0;
+    } else {
+      double lo = train.At(0, j);
+      double hi = lo;
+      for (size_t r = 1; r < n; ++r) {
+        const double v = train.At(r, j);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      offset_[j] = lo;
+      scale_[j] = (hi - lo) > 1e-12 ? (hi - lo) : 1.0;
+    }
+  }
+  ctx->ChargeCpu(2.0 * static_cast<double>(n * d), train.FeatureBytes());
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Result<Dataset> Scaler::Transform(const Dataset& data,
+                                  ExecutionContext* ctx) const {
+  if (!fitted_) return Status::FailedPrecondition("scaler not fitted");
+  if (data.num_features() != offset_.size()) {
+    return Status::InvalidArgument("scaler: feature count mismatch");
+  }
+  Dataset out = data;
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    for (size_t j = 0; j < out.num_features(); ++j) {
+      if (!apply_[j]) continue;
+      const double v = out.At(r, j);
+      if (!std::isnan(v)) out.Set(r, j, (v - offset_[j]) / scale_[j]);
+    }
+  }
+  ctx->ChargeCpu(2.0 * static_cast<double>(out.num_rows() *
+                                           out.num_features()),
+                 out.FeatureBytes());
+  return out;
+}
+
+}  // namespace green

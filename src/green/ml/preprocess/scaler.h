@@ -1,0 +1,39 @@
+#ifndef GREEN_ML_PREPROCESS_SCALER_H_
+#define GREEN_ML_PREPROCESS_SCALER_H_
+
+#include <vector>
+
+#include "green/ml/estimator.h"
+
+namespace green {
+
+enum class ScalerKind { kStandard, kMinMax };
+
+/// Feature scaling for numeric columns; categorical columns pass through
+/// untouched. Standard: (x - mean) / std. MinMax: (x - min) / (max - min).
+class Scaler : public Transformer {
+ public:
+  explicit Scaler(ScalerKind kind) : kind_(kind) {}
+
+  Status Fit(const Dataset& train, ExecutionContext* ctx) override;
+  Result<Dataset> Transform(const Dataset& data,
+                            ExecutionContext* ctx) const override;
+  std::string Name() const override {
+    return kind_ == ScalerKind::kStandard ? "standard_scaler"
+                                          : "minmax_scaler";
+  }
+  double TransformFlopsPerRow(size_t num_features) const override {
+    return 2.0 * static_cast<double>(num_features);
+  }
+
+ private:
+  ScalerKind kind_;
+  std::vector<double> offset_;
+  std::vector<double> scale_;
+  std::vector<bool> apply_;
+  bool fitted_ = false;
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_PREPROCESS_SCALER_H_

@@ -1,0 +1,75 @@
+#include "green/search/bayes_opt.h"
+
+#include "green/common/logging.h"
+
+namespace green {
+
+BayesOpt::BayesOpt(const ParamSpace* space, const Options& options)
+    : space_(space),
+      options_(options),
+      rng_(options.seed),
+      surrogate_([&] {
+        RfSurrogate::Options o = options.surrogate;
+        o.seed = HashCombine(options.seed, 0x50f7);
+        return o;
+      }()) {
+  GREEN_CHECK(space_ != nullptr);
+}
+
+ParamPoint BayesOpt::Ask() {
+  if (num_observations() < options_.num_initial_random ||
+      !surrogate_.fitted()) {
+    return space_->Sample(&rng_);
+  }
+  // Optimize EI by candidate sampling: cheap, derivative-free, and good
+  // enough in low-dimensional pipeline spaces.
+  ParamPoint best_candidate = space_->Sample(&rng_);
+  double best_ei =
+      surrogate_.ExpectedImprovement(best_candidate.unit, best_score_);
+  for (int i = 1; i < options_.candidates_per_ask; ++i) {
+    ParamPoint candidate = space_->Sample(&rng_);
+    const double ei =
+        surrogate_.ExpectedImprovement(candidate.unit, best_score_);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_candidate = std::move(candidate);
+    }
+  }
+  return best_candidate;
+}
+
+double BayesOpt::Tell(const ParamPoint& point, double score) {
+  xs_.push_back(point.unit);
+  ys_.push_back(score);
+  if (score > best_score_) {
+    best_score_ = score;
+    best_point_ = point;
+  }
+  ++tells_since_refit_;
+  double work = 0.0;
+  if (num_observations() >= options_.num_initial_random &&
+      tells_since_refit_ >= options_.refit_every) {
+    work = surrogate_.Fit(xs_, ys_);
+    tells_since_refit_ = 0;
+  }
+  return work;
+}
+
+double BayesOpt::TellMany(const std::vector<ParamPoint>& points,
+                          const std::vector<double>& scores) {
+  GREEN_CHECK(points.size() == scores.size());
+  double work = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    xs_.push_back(points[i].unit);
+    ys_.push_back(scores[i]);
+    if (scores[i] > best_score_) {
+      best_score_ = scores[i];
+      best_point_ = points[i];
+    }
+  }
+  if (!xs_.empty()) work = surrogate_.Fit(xs_, ys_);
+  tells_since_refit_ = 0;
+  return work;
+}
+
+}  // namespace green

@@ -1,0 +1,120 @@
+#include "green/search/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "green/common/mathutil.h"
+
+namespace green {
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansOptions& options) {
+  if (points.empty()) return Status::InvalidArgument("kmeans: no points");
+  if (options.k <= 0) return Status::InvalidArgument("kmeans: k <= 0");
+  const size_t n = points.size();
+  const size_t d = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != d) {
+      return Status::InvalidArgument("kmeans: ragged input");
+    }
+  }
+  const size_t k = std::min<size_t>(static_cast<size_t>(options.k), n);
+
+  Rng rng(options.seed);
+  KMeansResult result;
+
+  // k-means++ seeding.
+  result.centroids.push_back(
+      points[static_cast<size_t>(rng.NextBounded(n))]);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (result.centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(
+          min_dist[i], SquaredDistance(points[i], result.centroids.back()));
+      total += min_dist[i];
+    }
+    if (total <= 1e-15) break;  // All points coincide with centroids.
+    double target = rng.NextDouble() * total;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      target -= min_dist[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  // Lloyd iterations.
+  result.assignment.assign(n, 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < result.centroids.size(); ++c) {
+        const double dist = SquaredDistance(points[i], result.centroids[c]);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    std::vector<std::vector<double>> sums(result.centroids.size(),
+                                          std::vector<double>(d, 0.0));
+    std::vector<int> counts(result.centroids.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(result.assignment[i]);
+      ++counts[c];
+      for (size_t j = 0; j < d; ++j) sums[c][j] += points[i][j];
+    }
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      if (counts[c] == 0) continue;  // Keep empty centroids in place.
+      for (size_t j = 0; j < d; ++j) {
+        result.centroids[c][j] =
+            sums[c][j] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(
+        points[i],
+        result.centroids[static_cast<size_t>(result.assignment[i])]);
+  }
+  return result;
+}
+
+std::vector<size_t> ClosestPointPerCentroid(
+    const std::vector<std::vector<double>>& points,
+    const KMeansResult& clustering) {
+  std::vector<size_t> out;
+  for (const auto& centroid : clustering.centroids) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_i = 0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double dist = SquaredDistance(points[i], centroid);
+      if (dist < best) {
+        best = dist;
+        best_i = i;
+      }
+    }
+    if (std::find(out.begin(), out.end(), best_i) == out.end()) {
+      out.push_back(best_i);
+    }
+  }
+  return out;
+}
+
+}  // namespace green

@@ -1,0 +1,38 @@
+#ifndef GREEN_SEARCH_KMEANS_H_
+#define GREEN_SEARCH_KMEANS_H_
+
+#include <vector>
+
+#include "green/common/rng.h"
+#include "green/common/status.h"
+
+namespace green {
+
+/// Plain K-Means (k-means++ init, Lloyd iterations). The paper's
+/// development-stage optimizer clusters dataset meta-features with it and
+/// tunes on the datasets closest to each centroid (Fig. 2).
+struct KMeansOptions {
+  int k = 8;
+  int max_iterations = 50;
+  uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;
+  std::vector<int> assignment;  ///< Cluster index per input point.
+  double inertia = 0.0;         ///< Sum of squared distances to centroids.
+  int iterations = 0;
+};
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansOptions& options);
+
+/// Index of the input point closest to each centroid (the "most
+/// representative datasets"), deduplicated, in centroid order.
+std::vector<size_t> ClosestPointPerCentroid(
+    const std::vector<std::vector<double>>& points,
+    const KMeansResult& clustering);
+
+}  // namespace green
+
+#endif  // GREEN_SEARCH_KMEANS_H_

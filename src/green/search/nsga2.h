@@ -1,0 +1,57 @@
+#ifndef GREEN_SEARCH_NSGA2_H_
+#define GREEN_SEARCH_NSGA2_H_
+
+#include <functional>
+#include <vector>
+
+#include "green/search/param_space.h"
+
+namespace green {
+
+/// NSGA-II multi-objective genetic search over the unit hypercube — the
+/// engine TPOT evolves its pipeline population with. Objectives are
+/// maximized. Individuals are unit vectors decoded through the caller's
+/// ParamSpace.
+struct Nsga2Options {
+  int population_size = 16;
+  int generations = 10;
+  double crossover_prob = 0.9;
+  double mutation_prob = 0.2;
+  double mutation_sigma = 0.15;
+  uint64_t seed = 1;
+};
+
+struct Nsga2Individual {
+  std::vector<double> unit;
+  std::vector<double> objectives;  ///< Higher is better for all.
+  int rank = 0;                    ///< Pareto front index (0 = best).
+  double crowding = 0.0;
+};
+
+struct Nsga2Result {
+  /// Final population, non-dominated first.
+  std::vector<Nsga2Individual> population;
+  int evaluations = 0;
+};
+
+/// `evaluate` maps a decoded point to the objective vector (all
+/// maximized); an error status discards the individual (it is replaced by
+/// a fresh random one). `should_stop` ends evolution early (budget).
+Nsga2Result Nsga2(
+    const ParamSpace& space, const Nsga2Options& options,
+    const std::function<Result<std::vector<double>>(const ParamPoint&)>&
+        evaluate,
+    const std::function<bool()>& should_stop = nullptr);
+
+/// Exposed for testing: fast non-dominated sort; fills rank fields and
+/// returns the fronts (indices into `population`).
+std::vector<std::vector<size_t>> NonDominatedSort(
+    std::vector<Nsga2Individual>* population);
+
+/// Exposed for testing: crowding distance within one front.
+void AssignCrowdingDistance(const std::vector<size_t>& front,
+                            std::vector<Nsga2Individual>* population);
+
+}  // namespace green
+
+#endif  // GREEN_SEARCH_NSGA2_H_

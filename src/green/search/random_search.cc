@@ -1,0 +1,24 @@
+#include "green/search/random_search.h"
+
+namespace green {
+
+RandomSearchResult RandomSearch(
+    const ParamSpace& space, int max_evaluations, Rng* rng,
+    const std::function<Result<double>(const ParamPoint&)>& evaluate,
+    const std::function<bool()>& should_stop) {
+  RandomSearchResult result;
+  for (int i = 0; i < max_evaluations; ++i) {
+    if (should_stop && should_stop()) break;
+    ParamPoint point = space.Sample(rng);
+    Result<double> score = evaluate(point);
+    if (!score.ok()) continue;
+    ++result.evaluations;
+    if (score.value() > result.best_score) {
+      result.best_score = score.value();
+      result.best = std::move(point);
+    }
+  }
+  return result;
+}
+
+}  // namespace green

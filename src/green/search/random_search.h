@@ -1,0 +1,27 @@
+#ifndef GREEN_SEARCH_RANDOM_SEARCH_H_
+#define GREEN_SEARCH_RANDOM_SEARCH_H_
+
+#include <functional>
+
+#include "green/search/param_space.h"
+
+namespace green {
+
+/// The baseline every AutoML comparison needs: i.i.d. uniform sampling of
+/// the search space. `evaluate` returns the score of a point (higher is
+/// better) or an error status to skip it; the loop stops after
+/// `max_evaluations` or when `should_stop` fires (budget exhaustion).
+struct RandomSearchResult {
+  ParamPoint best;
+  double best_score = -1e300;
+  int evaluations = 0;
+};
+
+RandomSearchResult RandomSearch(
+    const ParamSpace& space, int max_evaluations, Rng* rng,
+    const std::function<Result<double>(const ParamPoint&)>& evaluate,
+    const std::function<bool()>& should_stop = nullptr);
+
+}  // namespace green
+
+#endif  // GREEN_SEARCH_RANDOM_SEARCH_H_

@@ -1,0 +1,38 @@
+#ifndef GREEN_SEARCH_SUCCESSIVE_HALVING_H_
+#define GREEN_SEARCH_SUCCESSIVE_HALVING_H_
+
+#include <functional>
+#include <vector>
+
+#include "green/common/status.h"
+
+namespace green {
+
+/// Successive halving over a fixed set of arms (CAML's pruning device):
+/// all arms are evaluated at the smallest budget; the best 1/eta fraction
+/// advances to the next budget level, and so on. Evaluation receives
+/// (arm index, budget level, budget fraction) and returns a score or an
+/// error (errors eliminate the arm).
+struct SuccessiveHalvingOptions {
+  int num_rungs = 3;
+  double eta = 3.0;              ///< Keep top 1/eta per rung.
+  double min_fraction = 0.111;   ///< Budget fraction at the lowest rung.
+};
+
+struct SuccessiveHalvingResult {
+  int best_arm = -1;
+  double best_score = -1e300;
+  /// Arms still alive after the last rung, best first.
+  std::vector<int> survivors;
+  int evaluations = 0;
+};
+
+SuccessiveHalvingResult SuccessiveHalving(
+    int num_arms, const SuccessiveHalvingOptions& options,
+    const std::function<Result<double>(int arm, int rung,
+                                       double budget_fraction)>& evaluate,
+    const std::function<bool()>& should_stop = nullptr);
+
+}  // namespace green
+
+#endif  // GREEN_SEARCH_SUCCESSIVE_HALVING_H_

@@ -1,0 +1,32 @@
+#include "green/sim/execution_context.h"
+
+namespace green {
+
+double ExecutionContext::Charge(const Work& work) {
+  const WorkExecution exec = model_->Execute(work, cores_);
+  clock_->Advance(exec.seconds);
+  counter_.Add(work);
+  if (meter_ != nullptr) meter_->Record(work, exec);
+  return exec.seconds;
+}
+
+double ExecutionContext::ChargeCpu(double flops, double bytes,
+                                   double parallel_fraction) {
+  Work w;
+  w.flops = flops;
+  w.bytes = bytes;
+  w.device = Device::kCpu;
+  w.parallel_fraction = parallel_fraction;
+  return Charge(w);
+}
+
+double ExecutionContext::ChargeAccelerated(double flops, double bytes) {
+  Work w;
+  w.flops = flops;
+  w.bytes = bytes;
+  w.device = HasGpu() ? Device::kGpu : Device::kCpu;
+  w.parallel_fraction = 0.98;  // Matmul-heavy work parallelizes well.
+  return Charge(w);
+}
+
+}  // namespace green

@@ -1,0 +1,72 @@
+#ifndef GREEN_SIM_EXECUTION_CONTEXT_H_
+#define GREEN_SIM_EXECUTION_CONTEXT_H_
+
+#include <limits>
+
+#include "green/energy/energy_meter.h"
+#include "green/energy/energy_model.h"
+#include "green/sim/virtual_clock.h"
+#include "green/sim/work_counter.h"
+
+namespace green {
+
+/// The handle every instrumented kernel threads through.
+///
+/// An ExecutionContext glues together the virtual clock, the machine's
+/// energy model, the currently metering EnergyMeter (if any), the number of
+/// CPU cores allotted to the workload, and an optional deadline. Charging
+/// work advances virtual time and attributes dynamic energy — this single
+/// funnel is what makes the library's energy numbers a pure function of the
+/// algorithms executed.
+class ExecutionContext {
+ public:
+  ExecutionContext(VirtualClock* clock, const EnergyModel* model, int cores)
+      : clock_(clock), model_(model), cores_(cores) {}
+
+  /// Executes `work`: advances the clock, records energy and counters.
+  /// Returns the virtual seconds consumed.
+  double Charge(const Work& work);
+
+  /// Convenience: CPU work with given parallel fraction.
+  double ChargeCpu(double flops, double bytes,
+                   double parallel_fraction = 0.9);
+
+  /// Convenience: runs on the GPU when one exists (falls back to CPU).
+  double ChargeAccelerated(double flops, double bytes);
+
+  double Now() const { return clock_->Now(); }
+
+  /// Deadline handling for budget-bounded search.
+  void SetDeadline(double deadline_seconds) { deadline_ = deadline_seconds; }
+  void ClearDeadline() {
+    deadline_ = std::numeric_limits<double>::infinity();
+  }
+  double deadline() const { return deadline_; }
+  bool DeadlineExceeded() const { return clock_->Now() >= deadline_; }
+  double RemainingBudget() const { return deadline_ - clock_->Now(); }
+
+  /// Attaches/detaches the meter that receives dynamic-energy records.
+  void SetMeter(EnergyMeter* meter) { meter_ = meter; }
+  EnergyMeter* meter() const { return meter_; }
+
+  void SetCores(int cores) { cores_ = cores; }
+  int cores() const { return cores_; }
+
+  bool HasGpu() const { return model_->machine().has_gpu; }
+
+  VirtualClock* clock() const { return clock_; }
+  const EnergyModel* model() const { return model_; }
+  WorkCounter* counter() { return &counter_; }
+
+ private:
+  VirtualClock* clock_;       // Not owned.
+  const EnergyModel* model_;  // Not owned.
+  EnergyMeter* meter_ = nullptr;
+  int cores_;
+  double deadline_ = std::numeric_limits<double>::infinity();
+  WorkCounter counter_;
+};
+
+}  // namespace green
+
+#endif  // GREEN_SIM_EXECUTION_CONTEXT_H_

@@ -1,0 +1,42 @@
+#include "green/sim/task_scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "green/common/logging.h"
+
+namespace green {
+
+TaskGraphScheduler::Schedule TaskGraphScheduler::ScheduleBatch(
+    const std::vector<double>& task_seconds, int cores) {
+  GREEN_CHECK(cores >= 1);
+  Schedule out;
+  if (task_seconds.empty()) return out;
+
+  std::vector<double> sorted = task_seconds;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  // Min-heap of per-core finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      finish;
+  for (int i = 0; i < cores; ++i) finish.push(0.0);
+
+  for (double t : sorted) {
+    GREEN_CHECK(t >= 0.0);
+    const double earliest = finish.top();
+    finish.pop();
+    finish.push(earliest + t);
+    out.busy_core_seconds += t;
+  }
+  while (!finish.empty()) {
+    out.makespan_seconds = finish.top();
+    finish.pop();
+  }
+  if (out.makespan_seconds > 0.0) {
+    out.utilization = out.busy_core_seconds /
+                      (out.makespan_seconds * static_cast<double>(cores));
+  }
+  return out;
+}
+
+}  // namespace green

@@ -1,0 +1,29 @@
+#ifndef GREEN_SIM_TASK_SCHEDULER_H_
+#define GREEN_SIM_TASK_SCHEDULER_H_
+
+#include <vector>
+
+namespace green {
+
+/// Simulates running a batch of independent tasks on a fixed number of
+/// cores with greedy longest-processing-time-first assignment — the
+/// classic list-scheduling bound. Used for embarrassingly parallel phases
+/// such as AutoGluon's bagged-fold training (the paper's Fig. 5 shows why
+/// this matters: parallel phases amortize static power, sequential ones do
+/// not).
+class TaskGraphScheduler {
+ public:
+  struct Schedule {
+    double makespan_seconds = 0.0;    ///< Wall time of the batch.
+    double busy_core_seconds = 0.0;   ///< Sum of all task durations.
+    double utilization = 0.0;         ///< busy / (makespan * cores).
+  };
+
+  /// `task_seconds` are single-core durations. `cores` >= 1.
+  static Schedule ScheduleBatch(const std::vector<double>& task_seconds,
+                                int cores);
+};
+
+}  // namespace green
+
+#endif  // GREEN_SIM_TASK_SCHEDULER_H_

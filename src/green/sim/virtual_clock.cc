@@ -1,0 +1,12 @@
+#include "green/sim/virtual_clock.h"
+
+#include "green/common/logging.h"
+
+namespace green {
+
+void VirtualClock::Advance(double seconds) {
+  GREEN_CHECK(seconds >= 0.0);
+  now_ += seconds;
+}
+
+}  // namespace green

@@ -1,0 +1,27 @@
+#ifndef GREEN_SIM_VIRTUAL_CLOCK_H_
+#define GREEN_SIM_VIRTUAL_CLOCK_H_
+
+namespace green {
+
+/// Deterministic virtual wall clock, advanced only by accounted work.
+/// All budgets, runtimes, and energy readings in this repository are
+/// expressed in virtual seconds; host wall-clock never leaks into results.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  double Now() const { return now_; }
+
+  /// Moves time forward. Negative advances are programming errors.
+  void Advance(double seconds);
+
+  /// Resets to t=0 (used between independent experiments).
+  void Reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace green
+
+#endif  // GREEN_SIM_VIRTUAL_CLOCK_H_

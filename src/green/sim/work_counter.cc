@@ -1,0 +1,1 @@
+#include "green/sim/work_counter.h"

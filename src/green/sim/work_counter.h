@@ -1,0 +1,42 @@
+#ifndef GREEN_SIM_WORK_COUNTER_H_
+#define GREEN_SIM_WORK_COUNTER_H_
+
+#include <cstdint>
+
+#include "green/energy/energy_model.h"
+
+namespace green {
+
+/// Aggregates the abstract work charged through an ExecutionContext.
+/// Useful for tests (energy must be monotone in counted work) and for
+/// reporting FLOP-level statistics alongside kWh.
+class WorkCounter {
+ public:
+  void Add(const Work& work) {
+    if (work.device == Device::kGpu) {
+      gpu_flops_ += work.flops;
+    } else {
+      cpu_flops_ += work.flops;
+    }
+    bytes_ += work.bytes;
+    ++num_charges_;
+  }
+
+  void Reset() { *this = WorkCounter(); }
+
+  double cpu_flops() const { return cpu_flops_; }
+  double gpu_flops() const { return gpu_flops_; }
+  double total_flops() const { return cpu_flops_ + gpu_flops_; }
+  double bytes() const { return bytes_; }
+  uint64_t num_charges() const { return num_charges_; }
+
+ private:
+  double cpu_flops_ = 0.0;
+  double gpu_flops_ = 0.0;
+  double bytes_ = 0.0;
+  uint64_t num_charges_ = 0;
+};
+
+}  // namespace green
+
+#endif  // GREEN_SIM_WORK_COUNTER_H_

@@ -1,0 +1,61 @@
+#include "green/table/column.h"
+
+#include <algorithm>
+
+namespace green {
+
+size_t Column::MissingCount() const {
+  size_t n = 0;
+  for (double v : values_) {
+    if (IsMissing(v)) ++n;
+  }
+  return n;
+}
+
+double Column::MeanIgnoringMissing() const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : values_) {
+    if (!IsMissing(v)) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double Column::MinIgnoringMissing() const {
+  double best = 0.0;
+  bool found = false;
+  for (double v : values_) {
+    if (IsMissing(v)) continue;
+    if (!found || v < best) {
+      best = v;
+      found = true;
+    }
+  }
+  return best;
+}
+
+double Column::MaxIgnoringMissing() const {
+  double best = 0.0;
+  bool found = false;
+  for (double v : values_) {
+    if (IsMissing(v)) continue;
+    if (!found || v > best) {
+      best = v;
+      found = true;
+    }
+  }
+  return best;
+}
+
+int Column::Cardinality() const {
+  double mx = -1.0;
+  for (double v : values_) {
+    if (!IsMissing(v)) mx = std::max(mx, v);
+  }
+  return mx < 0.0 ? 0 : static_cast<int>(mx) + 1;
+}
+
+}  // namespace green

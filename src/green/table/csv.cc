@@ -1,0 +1,110 @@
+#include "green/table/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "green/common/stringutil.h"
+
+namespace green {
+
+std::string ToCsvString(const Dataset& data) {
+  std::string out;
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    out += data.feature_name(j);
+    if (data.feature_type(j) == FeatureType::kCategorical) out += "#cat";
+    out += ",";
+  }
+  out += "label\n";
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t j = 0; j < data.num_features(); ++j) {
+      const double v = data.At(r, j);
+      if (!std::isnan(v)) out += StrFormat("%.10g", v);
+      out += ",";
+    }
+    out += StrFormat("%d\n", data.Label(r));
+  }
+  return out;
+}
+
+Result<Dataset> FromCsvString(const std::string& text,
+                              const std::string& name) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty() || Trim(lines[0]).empty()) {
+    return Status::InvalidArgument("empty CSV");
+  }
+  std::vector<std::string> header = Split(std::string(Trim(lines[0])), ',');
+  if (header.empty() || Trim(header.back()) != "label") {
+    return Status::InvalidArgument("last CSV column must be 'label'");
+  }
+  const size_t num_features = header.size() - 1;
+
+  // First pass: parse rows, track max label.
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  int max_label = -1;
+  for (size_t li = 1; li < lines.size(); ++li) {
+    const std::string_view line = Trim(lines[li]);
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(std::string(line), ',');
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", li,
+                    fields.size(), header.size()));
+    }
+    std::vector<double> row(num_features);
+    for (size_t j = 0; j < num_features; ++j) {
+      const std::string_view f = Trim(fields[j]);
+      row[j] = f.empty() ? NAN : std::strtod(std::string(f).c_str(), nullptr);
+    }
+    const int label =
+        static_cast<int>(std::strtol(fields.back().c_str(), nullptr, 10));
+    if (label < 0) {
+      return Status::InvalidArgument(
+          StrFormat("negative label on line %zu", li));
+    }
+    max_label = std::max(max_label, label);
+    rows.push_back(std::move(row));
+    labels.push_back(label);
+  }
+  if (rows.empty()) return Status::InvalidArgument("CSV has no data rows");
+
+  Dataset data(name, num_features, max_label + 1);
+  for (size_t j = 0; j < num_features; ++j) {
+    std::string col_name = std::string(Trim(header[j]));
+    if (EndsWith(col_name, "#cat")) {
+      data.SetFeatureType(j, FeatureType::kCategorical);
+      col_name.resize(col_name.size() - 4);
+    }
+    data.SetFeatureName(j, col_name);
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    GREEN_RETURN_IF_ERROR(data.AppendRow(rows[r], labels[r]));
+  }
+  return data;
+}
+
+Status WriteCsv(const Dataset& data, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  const std::string text = ToCsvString(data);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Dataset> ReadCsv(const std::string& path, const std::string& name) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  std::string text;
+  char buf[65536];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return FromCsvString(text, name);
+}
+
+}  // namespace green

@@ -1,0 +1,111 @@
+#include "green/table/dataset.h"
+
+#include "green/common/logging.h"
+#include "green/common/stringutil.h"
+
+namespace green {
+
+Dataset::Dataset(std::string name, size_t num_features, int num_classes)
+    : name_(std::move(name)),
+      num_features_(num_features),
+      num_classes_(num_classes) {
+  feature_types_.assign(num_features, FeatureType::kNumeric);
+  feature_names_.reserve(num_features);
+  for (size_t j = 0; j < num_features; ++j) {
+    feature_names_.push_back(StrFormat("f%zu", j));
+  }
+}
+
+Status Dataset::AppendRow(const std::vector<double>& features, int label) {
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu features, expected %zu", features.size(),
+                  num_features_));
+  }
+  if (label < 0 || label >= num_classes_) {
+    return Status::InvalidArgument(
+        StrFormat("label %d out of range [0, %d)", label, num_classes_));
+  }
+  x_.insert(x_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+  return Status::Ok();
+}
+
+void Dataset::SetFeatureType(size_t j, FeatureType type) {
+  GREEN_CHECK(j < num_features_);
+  feature_types_[j] = type;
+}
+
+void Dataset::SetFeatureName(size_t j, std::string name) {
+  GREEN_CHECK(j < num_features_);
+  feature_names_[j] = std::move(name);
+}
+
+void Dataset::SetNominalSize(int64_t rows, int64_t features) {
+  nominal_rows_ = rows;
+  nominal_features_ = features;
+}
+
+double Dataset::ScaleFactor() const {
+  if (nominal_rows_ <= 0 || num_rows() == 0) return 1.0;
+  const double f =
+      static_cast<double>(nominal_rows_) / static_cast<double>(num_rows());
+  return f < 1.0 ? 1.0 : f;
+}
+
+std::vector<double> Dataset::Row(size_t row) const {
+  const double* p = RowPtr(row);
+  return std::vector<double>(p, p + num_features_);
+}
+
+size_t Dataset::NumCategorical() const {
+  size_t n = 0;
+  for (FeatureType t : feature_types_) {
+    if (t == FeatureType::kCategorical) ++n;
+  }
+  return n;
+}
+
+std::vector<int> Dataset::ClassCounts() const {
+  std::vector<int> counts(static_cast<size_t>(num_classes_), 0);
+  for (int y : labels_) ++counts[static_cast<size_t>(y)];
+  return counts;
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& rows) const {
+  Dataset out(name_, num_features_, num_classes_);
+  out.feature_types_ = feature_types_;
+  out.feature_names_ = feature_names_;
+  out.nominal_rows_ = nominal_rows_;
+  out.nominal_features_ = nominal_features_;
+  out.x_.reserve(rows.size() * num_features_);
+  out.labels_.reserve(rows.size());
+  for (size_t r : rows) {
+    GREEN_CHECK(r < num_rows());
+    const double* p = RowPtr(r);
+    out.x_.insert(out.x_.end(), p, p + num_features_);
+    out.labels_.push_back(labels_[r]);
+  }
+  return out;
+}
+
+Dataset Dataset::SelectFeatures(const std::vector<size_t>& cols) const {
+  Dataset out(name_, cols.size(), num_classes_);
+  for (size_t k = 0; k < cols.size(); ++k) {
+    GREEN_CHECK(cols[k] < num_features_);
+    out.feature_types_[k] = feature_types_[cols[k]];
+    out.feature_names_[k] = feature_names_[cols[k]];
+  }
+  out.nominal_rows_ = nominal_rows_;
+  out.nominal_features_ = nominal_features_;
+  out.x_.resize(num_rows() * cols.size());
+  out.labels_ = labels_;
+  for (size_t r = 0; r < num_rows(); ++r) {
+    for (size_t k = 0; k < cols.size(); ++k) {
+      out.x_[r * cols.size() + k] = At(r, cols[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace green

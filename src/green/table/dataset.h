@@ -1,0 +1,96 @@
+#ifndef GREEN_TABLE_DATASET_H_
+#define GREEN_TABLE_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "green/common/status.h"
+#include "green/table/column.h"
+
+namespace green {
+
+/// A labeled classification dataset: dense row-major feature matrix with
+/// per-column types plus integer class labels in [0, num_classes).
+///
+/// Datasets carry two sizes: the *instantiated* size (rows actually held in
+/// memory, possibly scaled down for simulation speed) and the *nominal*
+/// size of the task they represent (e.g. covertype's 581,012 rows). The
+/// energy cost model can extrapolate to nominal scale while learning runs
+/// on the instantiated sample; see DESIGN.md §3.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, size_t num_features, int num_classes);
+
+  // --- construction ---
+  /// Appends one labeled row. `features.size()` must equal num_features().
+  Status AppendRow(const std::vector<double>& features, int label);
+
+  void SetFeatureType(size_t j, FeatureType type);
+  void SetFeatureName(size_t j, std::string name);
+  void SetNominalSize(int64_t rows, int64_t features);
+
+  // --- shape ---
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  size_t num_rows() const { return labels_.size(); }
+  size_t num_features() const { return num_features_; }
+  int num_classes() const { return num_classes_; }
+  int64_t nominal_rows() const { return nominal_rows_; }
+  int64_t nominal_features() const { return nominal_features_; }
+
+  /// Ratio of nominal to instantiated row count (>= 1 for scaled-down
+  /// instantiations); used to extrapolate work to the task's true size.
+  double ScaleFactor() const;
+
+  // --- access ---
+  double At(size_t row, size_t col) const {
+    return x_[row * num_features_ + col];
+  }
+  void Set(size_t row, size_t col, double v) {
+    x_[row * num_features_ + col] = v;
+  }
+  int Label(size_t row) const { return labels_[row]; }
+  const std::vector<int>& labels() const { return labels_; }
+  const double* RowPtr(size_t row) const {
+    return x_.data() + row * num_features_;
+  }
+  std::vector<double> Row(size_t row) const;
+  FeatureType feature_type(size_t j) const { return feature_types_[j]; }
+  const std::string& feature_name(size_t j) const {
+    return feature_names_[j];
+  }
+
+  /// Number of categorical features.
+  size_t NumCategorical() const;
+
+  /// Count of rows per class.
+  std::vector<int> ClassCounts() const;
+
+  /// New dataset containing the given rows (in order).
+  Dataset Subset(const std::vector<size_t>& rows) const;
+
+  /// New dataset containing the given feature columns (in order), same
+  /// rows and labels.
+  Dataset SelectFeatures(const std::vector<size_t>& cols) const;
+
+  /// Approximate in-memory footprint of the feature matrix in bytes.
+  double FeatureBytes() const {
+    return static_cast<double>(x_.size()) * sizeof(double);
+  }
+
+ private:
+  std::string name_;
+  size_t num_features_ = 0;
+  int num_classes_ = 0;
+  std::vector<double> x_;  // Row-major, num_rows * num_features.
+  std::vector<int> labels_;
+  std::vector<FeatureType> feature_types_;
+  std::vector<std::string> feature_names_;
+  int64_t nominal_rows_ = 0;
+  int64_t nominal_features_ = 0;
+};
+
+}  // namespace green
+
+#endif  // GREEN_TABLE_DATASET_H_

@@ -1,0 +1,75 @@
+#include "green/table/metafeatures.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "green/common/mathutil.h"
+
+namespace green {
+
+std::vector<double> MetaFeatures::ToVector() const {
+  return {log_rows,        log_features,         log_classes,
+          class_entropy,   class_imbalance,      categorical_fraction,
+          missing_fraction, rows_per_feature_log};
+}
+
+MetaFeatures ComputeMetaFeatures(const Dataset& data) {
+  MetaFeatures mf;
+  const double rows = data.nominal_rows() > 0
+                          ? static_cast<double>(data.nominal_rows())
+                          : static_cast<double>(data.num_rows());
+  const double features =
+      data.nominal_features() > 0
+          ? static_cast<double>(data.nominal_features())
+          : static_cast<double>(data.num_features());
+  mf.log_rows = std::log10(std::max(rows, 1.0));
+  mf.log_features = std::log10(std::max(features, 1.0));
+  mf.log_classes =
+      std::log10(std::max(static_cast<double>(data.num_classes()), 1.0));
+  mf.rows_per_feature_log =
+      std::log10(std::max(rows / std::max(features, 1.0), 1e-6));
+
+  const std::vector<int> counts = data.ClassCounts();
+  const double n = static_cast<double>(data.num_rows());
+  if (n > 0 && data.num_classes() > 1) {
+    double entropy = 0.0;
+    int min_count = counts.empty() ? 0 : counts[0];
+    int max_count = 0;
+    for (int c : counts) {
+      min_count = std::min(min_count, c);
+      max_count = std::max(max_count, c);
+      if (c > 0) {
+        const double p = static_cast<double>(c) / n;
+        entropy -= p * std::log(p);
+      }
+    }
+    mf.class_entropy =
+        entropy / std::log(static_cast<double>(data.num_classes()));
+    mf.class_imbalance =
+        max_count > 0 ? 1.0 - static_cast<double>(min_count) /
+                                  static_cast<double>(max_count)
+                      : 0.0;
+  }
+
+  if (data.num_features() > 0) {
+    mf.categorical_fraction = static_cast<double>(data.NumCategorical()) /
+                              static_cast<double>(data.num_features());
+    size_t missing = 0;
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      for (size_t j = 0; j < data.num_features(); ++j) {
+        if (std::isnan(data.At(r, j))) ++missing;
+      }
+    }
+    const double cells =
+        static_cast<double>(data.num_rows() * data.num_features());
+    mf.missing_fraction = cells > 0 ? static_cast<double>(missing) / cells
+                                    : 0.0;
+  }
+  return mf;
+}
+
+double MetaFeatureDistance(const MetaFeatures& a, const MetaFeatures& b) {
+  return std::sqrt(SquaredDistance(a.ToVector(), b.ToVector()));
+}
+
+}  // namespace green

@@ -1,0 +1,38 @@
+#ifndef GREEN_TABLE_METAFEATURES_H_
+#define GREEN_TABLE_METAFEATURES_H_
+
+#include <vector>
+
+#include "green/table/dataset.h"
+
+namespace green {
+
+/// Dataset-level meta-features, the descriptors both the paper's
+/// development-stage optimizer (K-Means representative selection, §2.5)
+/// and AutoSklearn-2-style warm starting use to judge dataset similarity.
+struct MetaFeatures {
+  double log_rows = 0.0;           ///< log10 of (nominal) row count.
+  double log_features = 0.0;       ///< log10 of (nominal) feature count.
+  double log_classes = 0.0;        ///< log10 of class count.
+  double class_entropy = 0.0;      ///< Normalized label entropy in [0,1].
+  double class_imbalance = 0.0;    ///< 1 - min/max class frequency.
+  double categorical_fraction = 0.0;
+  double missing_fraction = 0.0;
+  double rows_per_feature_log = 0.0;  ///< log10(rows / features).
+
+  /// Flattened vector representation for clustering / distance.
+  std::vector<double> ToVector() const;
+
+  static constexpr size_t kDim = 8;
+};
+
+/// Computes meta-features from a dataset. Uses the nominal task size when
+/// set (so scaled-down instantiations cluster like their real tasks).
+MetaFeatures ComputeMetaFeatures(const Dataset& data);
+
+/// Euclidean distance between meta-feature vectors.
+double MetaFeatureDistance(const MetaFeatures& a, const MetaFeatures& b);
+
+}  // namespace green
+
+#endif  // GREEN_TABLE_METAFEATURES_H_

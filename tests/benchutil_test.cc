@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "green/bench_util/aggregate.h"
+#include "green/bench_util/experiment.h"
+#include "green/bench_util/table_printer.h"
+
+namespace green {
+namespace {
+
+// --- aggregate ---
+
+TEST(AggregateTest, ComputeStats) {
+  const Stats s = ComputeStats({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-12);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_EQ(ComputeStats({}).n, 0u);
+}
+
+RunRecord MakeRecord(const std::string& system,
+                     const std::string& dataset, double budget,
+                     double acc) {
+  RunRecord r;
+  r.system = system;
+  r.dataset = dataset;
+  r.paper_budget_seconds = budget;
+  r.test_balanced_accuracy = acc;
+  return r;
+}
+
+TEST(AggregateTest, BootstrapMeanNearTrueMean) {
+  std::vector<RunRecord> records;
+  for (int rep = 0; rep < 5; ++rep) {
+    records.push_back(MakeRecord("caml", "a", 30, 0.8));
+    records.push_back(MakeRecord("caml", "b", 30, 0.6));
+  }
+  const Stats s = BootstrapAcrossDatasets(
+      records,
+      [](const RunRecord& r) { return r.test_balanced_accuracy; }, 200,
+      1);
+  EXPECT_NEAR(s.mean, 0.7, 1e-9);   // No variance across repetitions.
+  EXPECT_NEAR(s.stddev, 0.0, 1e-9);
+}
+
+TEST(AggregateTest, BootstrapCapturesRunVariance) {
+  std::vector<RunRecord> records;
+  records.push_back(MakeRecord("caml", "a", 30, 0.5));
+  records.push_back(MakeRecord("caml", "a", 30, 0.9));
+  const Stats s = BootstrapAcrossDatasets(
+      records,
+      [](const RunRecord& r) { return r.test_balanced_accuracy; }, 500,
+      1);
+  EXPECT_NEAR(s.mean, 0.7, 0.05);
+  EXPECT_GT(s.stddev, 0.1);
+}
+
+TEST(AggregateTest, FilterAndDistinct) {
+  std::vector<RunRecord> records;
+  records.push_back(MakeRecord("caml", "a", 30, 0.5));
+  records.push_back(MakeRecord("caml", "a", 60, 0.6));
+  records.push_back(MakeRecord("flaml", "a", 30, 0.7));
+  EXPECT_EQ(Filter(records, "caml", 30).size(), 1u);
+  EXPECT_EQ(Filter(records, "caml", 10).size(), 0u);
+  EXPECT_EQ(DistinctSystems(records).size(), 2u);
+  EXPECT_EQ(DistinctBudgets(records, "caml").size(), 2u);
+  EXPECT_EQ(DistinctBudgets(records, "flaml").size(), 1u);
+}
+
+// --- table printer ---
+
+TEST(TablePrinterTest, RendersAligned) {
+  TablePrinter printer({"system", "kWh"});
+  printer.AddRow({"caml", "0.5"});
+  printer.AddRow({"autogluon", "1.25"});
+  const std::string out = printer.Render();
+  EXPECT_NE(out.find("| system    | kWh  |"), std::string::npos);
+  EXPECT_NE(out.find("| autogluon | 1.25 |"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"only"});
+  EXPECT_NE(printer.Render().find("| only |"), std::string::npos);
+}
+
+// --- experiment runner ---
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  static ExperimentConfig SmallConfig() {
+    ExperimentConfig config;
+    config.dataset_limit = 2;
+    config.repetitions = 1;
+    config.seed = 7;
+    return config;
+  }
+};
+
+TEST_F(RunnerTest, AllSystemNamesConstructible) {
+  ExperimentRunner runner(SmallConfig());
+  for (const std::string& name : AllSystemNames()) {
+    auto system = runner.MakeSystem(name, 30.0);
+    ASSERT_TRUE(system.ok()) << name;
+    EXPECT_FALSE((*system)->Name().empty());
+  }
+  EXPECT_FALSE(runner.MakeSystem("nonexistent", 30.0).ok());
+}
+
+TEST_F(RunnerTest, MinBudgetsMatchPaper) {
+  ExperimentRunner runner(SmallConfig());
+  EXPECT_EQ(runner.MinBudget("autosklearn1"), 30.0);
+  EXPECT_EQ(runner.MinBudget("autosklearn2"), 30.0);
+  EXPECT_EQ(runner.MinBudget("tpot"), 60.0);
+  EXPECT_EQ(runner.MinBudget("caml"), 0.0);
+}
+
+TEST_F(RunnerTest, RunOneProducesSaneRecord) {
+  ExperimentRunner runner(SmallConfig());
+  auto record = runner.RunOne("caml", runner.suite()[0], 30.0, 0);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->system, "caml");
+  EXPECT_EQ(record->paper_budget_seconds, 30.0);
+  EXPECT_GT(record->test_balanced_accuracy, 0.0);
+  EXPECT_LE(record->test_balanced_accuracy, 1.0);
+  EXPECT_GT(record->execution_kwh, 0.0);
+  EXPECT_GT(record->execution_seconds, 0.0);
+  EXPECT_GT(record->inference_kwh_per_instance, 0.0);
+  EXPECT_GE(record->num_pipelines, 1u);
+}
+
+TEST_F(RunnerTest, RunsAreReproducible) {
+  ExperimentRunner runner(SmallConfig());
+  auto a = runner.RunOne("flaml", runner.suite()[0], 10.0, 0);
+  auto b = runner.RunOne("flaml", runner.suite()[0], 10.0, 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->test_balanced_accuracy, b->test_balanced_accuracy);
+  EXPECT_DOUBLE_EQ(a->execution_kwh, b->execution_kwh);
+}
+
+TEST_F(RunnerTest, RepetitionsDiffer) {
+  ExperimentRunner runner(SmallConfig());
+  auto a = runner.RunOne("caml", runner.suite()[0], 60.0, 0);
+  auto b = runner.RunOne("caml", runner.suite()[0], 60.0, 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Different repetition seeds — the runs must not be bit-identical in
+  // every reported metric (they draw different splits and proposals).
+  const bool all_equal =
+      a->execution_kwh == b->execution_kwh &&
+      a->test_balanced_accuracy == b->test_balanced_accuracy &&
+      a->inference_kwh_per_instance == b->inference_kwh_per_instance;
+  EXPECT_FALSE(all_equal);
+}
+
+TEST_F(RunnerTest, SweepSkipsUnsupportedBudgets) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 1;
+  ExperimentRunner runner(config);
+  auto records = runner.Sweep({"tpot"}, {10.0, 60.0});
+  ASSERT_TRUE(records.ok());
+  for (const RunRecord& r : *records) {
+    EXPECT_EQ(r.paper_budget_seconds, 60.0);
+  }
+  EXPECT_FALSE(records->empty());
+}
+
+TEST_F(RunnerTest, TabPfnSweepCollapsesBudgets) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 1;
+  ExperimentRunner runner(config);
+  auto records = runner.Sweep({"tabpfn"}, {10.0, 30.0, 60.0});
+  ASSERT_TRUE(records.ok());
+  // One budget point only: TabPFN has no search-time parameter.
+  EXPECT_EQ(DistinctBudgets(*records, "tabpfn").size(), 1u);
+}
+
+TEST_F(RunnerTest, CoresOverrideChangesEnergy) {
+  ExperimentRunner runner(SmallConfig());
+  auto one = runner.RunOne("caml", runner.suite()[0], 10.0, 0, 1);
+  auto eight = runner.RunOne("caml", runner.suite()[0], 10.0, 0, 8);
+  ASSERT_TRUE(one.ok() && eight.ok());
+  EXPECT_NE(one->execution_kwh, eight->execution_kwh);
+}
+
+TEST_F(RunnerTest, Askl2BuildsMetaStoreAndChargesDevelopment) {
+  ExperimentRunner runner(SmallConfig());
+  EXPECT_EQ(runner.development_kwh(), 0.0);
+  auto record = runner.RunOne("autosklearn2", runner.suite()[0], 30.0, 0);
+  ASSERT_TRUE(record.ok());
+  EXPECT_GT(runner.development_kwh(), 0.0);
+}
+
+TEST_F(RunnerTest, ConfigFromEnvDefaultsToFast) {
+  const ExperimentConfig config = ExperimentConfig::FromEnv();
+  EXPECT_GT(config.dataset_limit, 0u);  // Fast subset unless GREEN_FULL.
+  EXPECT_GT(config.budget_scale, 0.0);
+}
+
+}  // namespace
+}  // namespace green

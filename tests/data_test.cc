@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "green/data/amlb_suite.h"
+#include "green/data/meta_corpus.h"
+#include "green/data/synthetic.h"
+
+namespace green {
+namespace {
+
+// --- synthetic generator ---
+
+TEST(SyntheticTest, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.name = "s";
+  spec.num_rows = 200;
+  spec.num_features = 12;
+  spec.num_classes = 3;
+  spec.num_categorical = 4;
+  auto data = GenerateSynthetic(spec);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_rows(), 200u);
+  EXPECT_EQ(data->num_features(), 12u);
+  EXPECT_EQ(data->num_classes(), 3);
+  EXPECT_EQ(data->NumCategorical(), 4u);
+}
+
+TEST(SyntheticTest, RejectsDegenerateSpecs) {
+  SyntheticSpec spec;
+  spec.num_rows = 0;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+  spec.num_rows = 3;
+  spec.num_classes = 10;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+}
+
+TEST(SyntheticTest, AllClassesPopulated) {
+  SyntheticSpec spec;
+  spec.num_rows = 100;
+  spec.num_classes = 7;
+  spec.label_noise = 0.0;
+  auto data = GenerateSynthetic(spec);
+  ASSERT_TRUE(data.ok());
+  for (int c : data->ClassCounts()) EXPECT_GT(c, 0);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.num_rows = 50;
+  spec.seed = 77;
+  auto a = GenerateSynthetic(spec);
+  auto b = GenerateSynthetic(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t r = 0; r < a->num_rows(); ++r) {
+    EXPECT_EQ(a->Label(r), b->Label(r));
+    for (size_t j = 0; j < a->num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(a->At(r, j), b->At(r, j));
+    }
+  }
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  SyntheticSpec spec;
+  spec.num_rows = 50;
+  spec.seed = 1;
+  auto a = GenerateSynthetic(spec);
+  spec.seed = 2;
+  auto b = GenerateSynthetic(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = false;
+  for (size_t r = 0; r < a->num_rows() && !any_diff; ++r) {
+    for (size_t j = 0; j < a->num_features(); ++j) {
+      if (a->At(r, j) != b->At(r, j)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, MissingFractionApproximatelyHonored) {
+  SyntheticSpec spec;
+  spec.num_rows = 1000;
+  spec.num_features = 10;
+  spec.missing_fraction = 0.1;
+  auto data = GenerateSynthetic(spec);
+  ASSERT_TRUE(data.ok());
+  size_t missing = 0;
+  for (size_t r = 0; r < data->num_rows(); ++r) {
+    for (size_t j = 0; j < data->num_features(); ++j) {
+      if (std::isnan(data->At(r, j))) ++missing;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(missing) / 10000.0, 0.1, 0.02);
+}
+
+TEST(SyntheticTest, CategoricalCodesWithinCardinality) {
+  SyntheticSpec spec;
+  spec.num_rows = 300;
+  spec.num_features = 10;
+  spec.num_categorical = 10;
+  auto data = GenerateSynthetic(spec);
+  ASSERT_TRUE(data.ok());
+  for (size_t j = 0; j < data->num_features(); ++j) {
+    ASSERT_EQ(data->feature_type(j), FeatureType::kCategorical);
+    for (size_t r = 0; r < data->num_rows(); ++r) {
+      const double v = data->At(r, j);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 8.0);
+      EXPECT_DOUBLE_EQ(v, std::floor(v));
+    }
+  }
+}
+
+TEST(SyntheticTest, SeparationControlsDifficulty) {
+  // Classes drawn far apart should be separable by a nearest-mean rule;
+  // nearly-overlapping ones should not.
+  auto accuracy_at = [](double separation) {
+    SyntheticSpec spec;
+    spec.num_rows = 400;
+    spec.num_features = 6;
+    spec.num_informative = 6;
+    spec.num_classes = 2;
+    spec.clusters_per_class = 1;
+    spec.separation = separation;
+    spec.label_noise = 0.0;
+    spec.seed = 5;
+    auto data = GenerateSynthetic(spec);
+    EXPECT_TRUE(data.ok());
+    // Class means from the first half, score on the second half.
+    std::vector<std::vector<double>> means(
+        2, std::vector<double>(data->num_features(), 0.0));
+    std::vector<int> counts(2, 0);
+    for (size_t r = 0; r < 200; ++r) {
+      const int y = data->Label(r);
+      ++counts[static_cast<size_t>(y)];
+      for (size_t j = 0; j < data->num_features(); ++j) {
+        means[static_cast<size_t>(y)][j] += data->At(r, j);
+      }
+    }
+    for (int c = 0; c < 2; ++c) {
+      for (double& m : means[static_cast<size_t>(c)]) {
+        m /= std::max(1, counts[static_cast<size_t>(c)]);
+      }
+    }
+    int correct = 0;
+    for (size_t r = 200; r < 400; ++r) {
+      double d0 = 0.0;
+      double d1 = 0.0;
+      for (size_t j = 0; j < data->num_features(); ++j) {
+        d0 += (data->At(r, j) - means[0][j]) * (data->At(r, j) - means[0][j]);
+        d1 += (data->At(r, j) - means[1][j]) * (data->At(r, j) - means[1][j]);
+      }
+      if ((d1 < d0 ? 1 : 0) == data->Label(r)) ++correct;
+    }
+    return correct / 200.0;
+  };
+  EXPECT_GT(accuracy_at(4.0), 0.9);
+  EXPECT_LT(accuracy_at(0.05), accuracy_at(4.0));
+}
+
+// --- AMLB suite ---
+
+TEST(AmlbTest, TableHas39PaperRows) {
+  const auto& specs = AmlbTable2();
+  ASSERT_EQ(specs.size(), 39u);
+  EXPECT_EQ(specs.front().name, "robert");
+  EXPECT_EQ(specs.front().features, 7200);
+  EXPECT_EQ(specs.back().name, "blood-transfusion-service-center");
+  // Spot-check a few well-known rows of Table 2.
+  bool found_covertype = false;
+  bool found_dionis = false;
+  for (const auto& spec : specs) {
+    if (spec.name == "covertype") {
+      found_covertype = true;
+      EXPECT_EQ(spec.instances, 581012);
+      EXPECT_EQ(spec.num_classes, 7);
+    }
+    if (spec.name == "dionis") {
+      found_dionis = true;
+      EXPECT_EQ(spec.num_classes, 355);
+    }
+  }
+  EXPECT_TRUE(found_covertype);
+  EXPECT_TRUE(found_dionis);
+}
+
+TEST(AmlbTest, UniqueOpenMlIds) {
+  std::set<int> ids;
+  for (const auto& spec : AmlbTable2()) {
+    EXPECT_TRUE(ids.insert(spec.openml_id).second);
+  }
+}
+
+TEST(AmlbTest, InstantiationRespectsProfileCaps) {
+  const SimulationProfile profile = SimulationProfile::Fast();
+  for (const auto& spec : AmlbTable2()) {
+    auto data = InstantiateAmlbTask(spec, profile, 1);
+    ASSERT_TRUE(data.ok()) << spec.name;
+    EXPECT_LE(data->num_rows(), profile.max_rows);
+    EXPECT_GE(data->num_rows(), profile.min_rows);
+    EXPECT_LE(data->num_features(), profile.max_features);
+    EXPECT_LE(data->num_classes(), profile.max_classes);
+    EXPECT_EQ(data->nominal_rows(), spec.instances);
+    EXPECT_EQ(data->nominal_features(), spec.features);
+  }
+}
+
+TEST(AmlbTest, RelativeSizeOrderingPreserved) {
+  const SimulationProfile profile = SimulationProfile::Fast();
+  auto covertype = InstantiateAmlbTask(
+      AmlbTable2()[17], profile, 1);  // covertype, 581k rows.
+  auto credit = InstantiateAmlbTask(
+      AmlbTable2()[25], profile, 1);  // credit-g, 1k rows.
+  ASSERT_TRUE(covertype.ok() && credit.ok());
+  EXPECT_GT(covertype->num_rows(), credit->num_rows());
+}
+
+TEST(AmlbTest, DifficultyIsNameDeterministic) {
+  // Different run seeds re-draw the data but keep the task's identity
+  // (same shape, same difficulty knobs) — same name, same problem.
+  const SimulationProfile profile = SimulationProfile::Fast();
+  auto a = InstantiateAmlbTask(AmlbTable2()[25], profile, 1);
+  auto b = InstantiateAmlbTask(AmlbTable2()[25], profile, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_rows(), b->num_rows());
+  EXPECT_EQ(a->num_features(), b->num_features());
+  EXPECT_EQ(a->NumCategorical(), b->NumCategorical());
+}
+
+TEST(AmlbTest, SuiteLimit) {
+  auto suite = InstantiateAmlbSuite(SimulationProfile::Fast(), 1, 5);
+  ASSERT_TRUE(suite.ok());
+  EXPECT_EQ(suite->size(), 5u);
+  EXPECT_EQ((*suite)[0].name(), "robert");
+}
+
+TEST(AmlbTest, ProfilesDiffer) {
+  const SimulationProfile fast = SimulationProfile::Fast();
+  const SimulationProfile full = SimulationProfile::Full();
+  EXPECT_LT(fast.max_rows, full.max_rows);
+  EXPECT_LT(fast.repetitions, full.repetitions);
+}
+
+// --- meta corpus ---
+
+TEST(MetaCorpusTest, GeneratesRequestedCount) {
+  MetaCorpusOptions options;
+  options.num_datasets = 24;
+  auto corpus = GenerateMetaCorpus(options, SimulationProfile::Fast());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->size(), 24u);
+}
+
+TEST(MetaCorpusTest, AllBinary) {
+  MetaCorpusOptions options;
+  options.num_datasets = 10;
+  auto corpus = GenerateMetaCorpus(options, SimulationProfile::Fast());
+  ASSERT_TRUE(corpus.ok());
+  for (const Dataset& d : *corpus) {
+    EXPECT_EQ(d.num_classes(), 2);
+    EXPECT_GT(d.num_rows(), 0u);
+  }
+}
+
+TEST(MetaCorpusTest, SpansSizeRange) {
+  MetaCorpusOptions options;
+  options.num_datasets = 40;
+  auto corpus = GenerateMetaCorpus(options, SimulationProfile::Fast());
+  ASSERT_TRUE(corpus.ok());
+  int64_t min_rows = 1LL << 60;
+  int64_t max_rows = 0;
+  for (const Dataset& d : *corpus) {
+    min_rows = std::min(min_rows, d.nominal_rows());
+    max_rows = std::max(max_rows, d.nominal_rows());
+  }
+  // Log-uniform draws across [500, 120000] should span a wide range.
+  EXPECT_LT(min_rows, 5000);
+  EXPECT_GT(max_rows, 20000);
+}
+
+TEST(MetaCorpusTest, RejectsEmpty) {
+  MetaCorpusOptions options;
+  options.num_datasets = 0;
+  EXPECT_FALSE(
+      GenerateMetaCorpus(options, SimulationProfile::Fast()).ok());
+}
+
+TEST(MetaCorpusTest, Deterministic) {
+  MetaCorpusOptions options;
+  options.num_datasets = 5;
+  auto a = GenerateMetaCorpus(options, SimulationProfile::Fast());
+  auto b = GenerateMetaCorpus(options, SimulationProfile::Fast());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].num_rows(), (*b)[i].num_rows());
+    EXPECT_EQ((*a)[i].At(0, 0), (*b)[i].At(0, 0));
+  }
+}
+
+}  // namespace
+}  // namespace green

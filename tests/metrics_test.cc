@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "green/common/rng.h"
+#include "green/ml/metrics.h"
+
+namespace green {
+namespace {
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 1, 0}, {0, 1, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1}, {1}), 1.0);
+}
+
+TEST(BalancedAccuracyTest, EqualsAccuracyWhenBalanced) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> pred = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(truth, pred, 2), 0.75);
+}
+
+TEST(BalancedAccuracyTest, HandlesImbalance) {
+  // 90 of class 0, 10 of class 1; predicting all-zero has 50% balanced
+  // accuracy regardless of the skew — the reason the paper uses it.
+  std::vector<int> truth(100, 0);
+  std::fill(truth.begin() + 90, truth.end(), 1);
+  const std::vector<int> all_zero(100, 0);
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(truth, all_zero, 2), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy(truth, all_zero), 0.9);
+}
+
+TEST(BalancedAccuracyTest, SkipsAbsentClasses) {
+  EXPECT_DOUBLE_EQ(BalancedAccuracy({0, 0}, {0, 0}, 3), 1.0);
+}
+
+TEST(BalancedAccuracyTest, PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(BalancedAccuracy({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(BalancedAccuracy({0, 1, 2}, {1, 2, 0}, 3), 0.0);
+}
+
+TEST(LogLossTest, PerfectPredictionIsZero) {
+  EXPECT_NEAR(LogLoss({0, 1}, {{1.0, 0.0}, {0.0, 1.0}}), 0.0, 1e-9);
+}
+
+TEST(LogLossTest, UniformIsLogK) {
+  EXPECT_NEAR(LogLoss({0, 1}, {{0.5, 0.5}, {0.5, 0.5}}), std::log(2.0),
+              1e-12);
+}
+
+TEST(LogLossTest, ClipsZeros) {
+  const double loss = LogLoss({0}, {{0.0, 1.0}});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 30.0);
+}
+
+TEST(MacroF1Test, PerfectIsOne) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+}
+
+TEST(MacroF1Test, KnownValue) {
+  // Class 0: P=1, R=0.5 -> F1=2/3. Class 1: P=0.5, R=1 -> F1=2/3.
+  EXPECT_NEAR(MacroF1({0, 0, 1}, {0, 1, 1}, 2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, Counts) {
+  const auto cm = ConfusionMatrix({0, 0, 1, 1, 1}, {0, 1, 1, 1, 0}, 2);
+  EXPECT_EQ(cm[0][0], 1);
+  EXPECT_EQ(cm[0][1], 1);
+  EXPECT_EQ(cm[1][0], 1);
+  EXPECT_EQ(cm[1][1], 2);
+}
+
+// --- property sweeps ---
+
+class MetricPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricPropertyTest, MetricsBoundedAndPermutationInvariant) {
+  const int k = GetParam();
+  Rng rng(static_cast<uint64_t>(k) * 101);
+  const size_t n = 200;
+  std::vector<int> truth(n);
+  std::vector<int> pred(n);
+  for (size_t i = 0; i < n; ++i) {
+    truth[i] = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(k)));
+    pred[i] = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(k)));
+  }
+  const double acc = Accuracy(truth, pred);
+  const double bacc = BalancedAccuracy(truth, pred, k);
+  const double f1 = MacroF1(truth, pred, k);
+  for (double m : {acc, bacc, f1}) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+  }
+
+  // Shuffling (truth, pred) pairs jointly must not change any metric.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  std::vector<int> truth2(n);
+  std::vector<int> pred2(n);
+  for (size_t i = 0; i < n; ++i) {
+    truth2[i] = truth[order[i]];
+    pred2[i] = pred[order[i]];
+  }
+  EXPECT_DOUBLE_EQ(Accuracy(truth2, pred2), acc);
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(truth2, pred2, k), bacc);
+  EXPECT_DOUBLE_EQ(MacroF1(truth2, pred2, k), f1);
+
+  // Random guessing has expected balanced accuracy ~ 1/k.
+  EXPECT_NEAR(bacc, 1.0 / k, 0.15);
+
+  // Confusion matrix row sums equal class supports.
+  const auto cm = ConfusionMatrix(truth, pred, k);
+  for (int c = 0; c < k; ++c) {
+    int row_sum = 0;
+    for (int o = 0; o < k; ++o) row_sum += cm[c][o];
+    int support = 0;
+    for (int t : truth) {
+      if (t == c) ++support;
+    }
+    EXPECT_EQ(row_sum, support);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassCounts, MetricPropertyTest,
+                         ::testing::Values(2, 3, 5, 10, 20));
+
+}  // namespace
+}  // namespace green

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "green/data/synthetic.h"
+#include "green/ml/metrics.h"
+#include "green/ml/model_registry.h"
+#include "green/ml/pipeline.h"
+#include "green/table/split.h"
+
+namespace green {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : model_(MachineModel::Minimal()), ctx_(&clock_, &model_, 1) {}
+
+  Dataset MakeTask(double missing = 0.0) {
+    SyntheticSpec spec;
+    spec.name = "task";
+    spec.num_rows = 240;
+    spec.num_features = 10;
+    spec.num_informative = 8;
+    spec.num_categorical = 3;
+    spec.separation = 3.0;
+    spec.missing_fraction = missing;
+    spec.seed = 4;
+    auto data = GenerateSynthetic(spec);
+    EXPECT_TRUE(data.ok());
+    return std::move(data).value();
+  }
+
+  VirtualClock clock_;
+  EnergyModel model_;
+  ExecutionContext ctx_;
+};
+
+TEST_F(PipelineTest, BuildsEveryKnownModel) {
+  for (const std::string& name : KnownModels()) {
+    PipelineConfig config;
+    config.model = name;
+    auto pipeline = BuildPipeline(config);
+    EXPECT_TRUE(pipeline.ok()) << name;
+  }
+}
+
+TEST_F(PipelineTest, UnknownModelRejected) {
+  PipelineConfig config;
+  config.model = "quantum_svm";
+  EXPECT_FALSE(BuildPipeline(config).ok());
+  config.model = "decision_tree";
+  config.scaler = "bogus";
+  EXPECT_FALSE(BuildPipeline(config).ok());
+}
+
+TEST_F(PipelineTest, EndToEndWithMissingAndCategorical) {
+  const Dataset data = MakeTask(/*missing=*/0.05);
+  Rng rng(5);
+  const TrainTestData split =
+      Materialize(data, StratifiedSplit(data, 0.66, &rng));
+  PipelineConfig config;
+  config.model = "random_forest";
+  config.params["num_trees"] = 16;
+  auto pipeline = BuildPipeline(config);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(pipeline->Fit(split.train, &ctx_).ok());
+  auto preds = pipeline->Predict(split.test, &ctx_);
+  ASSERT_TRUE(preds.ok());
+  EXPECT_GT(BalancedAccuracy(split.test.labels(), preds.value(),
+                             data.num_classes()),
+            0.75);
+}
+
+TEST_F(PipelineTest, PredictBeforeFitRejected) {
+  PipelineConfig config;
+  auto pipeline = BuildPipeline(config);
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_FALSE(pipeline->Predict(MakeTask(), &ctx_).ok());
+}
+
+TEST_F(PipelineTest, PipelineWithoutModelRejected) {
+  Pipeline pipeline;
+  EXPECT_FALSE(pipeline.Fit(MakeTask(), &ctx_).ok());
+}
+
+TEST_F(PipelineTest, DescribeListsStages) {
+  PipelineConfig config;
+  config.model = "naive_bayes";
+  config.select_k_best = 4;
+  auto pipeline = BuildPipeline(config);
+  ASSERT_TRUE(pipeline.ok());
+  const std::string description = pipeline->Describe();
+  EXPECT_NE(description.find("imputer"), std::string::npos);
+  EXPECT_NE(description.find("select_k_best"), std::string::npos);
+  EXPECT_NE(description.find("naive_bayes"), std::string::npos);
+}
+
+TEST_F(PipelineTest, ConfigDescribeIsCompact) {
+  PipelineConfig config;
+  config.model = "random_forest";
+  config.params["num_trees"] = 8;
+  const std::string s = config.Describe();
+  EXPECT_NE(s.find("random_forest"), std::string::npos);
+  EXPECT_NE(s.find("num_trees=8"), std::string::npos);
+}
+
+TEST_F(PipelineTest, InferenceFlopsComposeAcrossStages) {
+  const Dataset data = MakeTask();
+  PipelineConfig bare;
+  bare.model = "logistic_regression";
+  bare.impute = false;
+  bare.one_hot = false;
+  bare.scaler = "none";
+  PipelineConfig full;
+  full.model = "logistic_regression";
+  auto p_bare = BuildPipeline(bare);
+  auto p_full = BuildPipeline(full);
+  ASSERT_TRUE(p_bare.ok() && p_full.ok());
+  ASSERT_TRUE(p_bare->Fit(data, &ctx_).ok());
+  ASSERT_TRUE(p_full->Fit(data, &ctx_).ok());
+  EXPECT_GT(p_full->InferenceFlopsPerRow(data.num_features()),
+            p_bare->InferenceFlopsPerRow(data.num_features()));
+}
+
+TEST_F(PipelineTest, SelectKReducesModelInputWidth) {
+  const Dataset data = MakeTask();
+  PipelineConfig narrow;
+  narrow.model = "logistic_regression";
+  narrow.one_hot = false;
+  narrow.select_k_best = 3;
+  auto pipeline = BuildPipeline(narrow);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(pipeline->Fit(data, &ctx_).ok());
+  auto preds = pipeline->Predict(data, &ctx_);
+  EXPECT_TRUE(preds.ok());
+}
+
+TEST_F(PipelineTest, TrainCostEstimatesOrdering) {
+  // NB must be estimated cheaper than a forest, which is cheaper than a
+  // big MLP — the ordering FLAML's ladder and the planners rely on.
+  PipelineConfig nb;
+  nb.model = "naive_bayes";
+  PipelineConfig forest;
+  forest.model = "random_forest";
+  forest.params["num_trees"] = 32;
+  PipelineConfig mlp;
+  mlp.model = "mlp";
+  mlp.params["hidden_units"] = 64;
+  mlp.params["epochs"] = 60;
+  const double nb_cost = EstimateTrainCost(nb, 1000, 20, 2);
+  const double forest_cost = EstimateTrainCost(forest, 1000, 20, 2);
+  const double mlp_cost = EstimateTrainCost(mlp, 1000, 20, 2);
+  EXPECT_LT(nb_cost, forest_cost);
+  EXPECT_LT(nb_cost, mlp_cost);
+}
+
+TEST_F(PipelineTest, PredictCostEstimates) {
+  PipelineConfig knn;
+  knn.model = "knn";
+  PipelineConfig logistic;
+  logistic.model = "logistic_regression";
+  // kNN prediction cost grows with training size; logistic's does not.
+  EXPECT_GT(EstimatePredictCost(knn, 10000, 100, 20, 2),
+            10.0 * EstimatePredictCost(knn, 100, 100, 20, 2));
+  EXPECT_NEAR(EstimatePredictCost(logistic, 10000, 100, 20, 2),
+              EstimatePredictCost(logistic, 100, 100, 20, 2), 1e-9);
+}
+
+TEST_F(PipelineTest, TrainCostMonotoneInRows) {
+  for (const std::string& name : KnownModels()) {
+    PipelineConfig config;
+    config.model = name;
+    EXPECT_LE(EstimateTrainCost(config, 100, 10, 2),
+              EstimateTrainCost(config, 10000, 10, 2))
+        << name;
+  }
+}
+
+TEST_F(PipelineTest, ParamsForwardedToModel) {
+  const Dataset data = MakeTask();
+  PipelineConfig small;
+  small.model = "random_forest";
+  small.params["num_trees"] = 4;
+  PipelineConfig big = small;
+  big.params["num_trees"] = 32;
+  auto a = BuildPipeline(small);
+  auto b = BuildPipeline(big);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(a->Fit(data, &ctx_).ok());
+  ASSERT_TRUE(b->Fit(data, &ctx_).ok());
+  EXPECT_GT(b->ModelComplexity(), a->ModelComplexity());
+}
+
+}  // namespace
+}  // namespace green

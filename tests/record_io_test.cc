@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "green/bench_util/record_io.h"
+
+namespace green {
+namespace {
+
+RunRecord SampleRecord() {
+  RunRecord r;
+  r.system = "caml";
+  r.dataset = "credit-g";
+  r.paper_budget_seconds = 30.0;
+  r.repetition = 2;
+  r.test_balanced_accuracy = 0.8125;
+  r.execution_seconds = 30.89;
+  r.execution_kwh = 0.00029;
+  r.inference_kwh_per_instance = 4.5e-08;
+  r.inference_seconds_per_instance = 1.5e-06;
+  r.num_pipelines = 1;
+  r.pipelines_evaluated = 17;
+  r.best_validation_score = 0.83;
+  return r;
+}
+
+TEST(RecordIoTest, JsonRoundTrip) {
+  const RunRecord original = SampleRecord();
+  auto parsed = RecordFromJson(RecordToJson(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->system, original.system);
+  EXPECT_EQ(parsed->dataset, original.dataset);
+  EXPECT_DOUBLE_EQ(parsed->paper_budget_seconds,
+                   original.paper_budget_seconds);
+  EXPECT_EQ(parsed->repetition, original.repetition);
+  EXPECT_DOUBLE_EQ(parsed->test_balanced_accuracy,
+                   original.test_balanced_accuracy);
+  EXPECT_DOUBLE_EQ(parsed->execution_kwh, original.execution_kwh);
+  EXPECT_DOUBLE_EQ(parsed->inference_kwh_per_instance,
+                   original.inference_kwh_per_instance);
+  EXPECT_EQ(parsed->num_pipelines, original.num_pipelines);
+  EXPECT_EQ(parsed->pipelines_evaluated, original.pipelines_evaluated);
+}
+
+TEST(RecordIoTest, JsonEscapesSpecialCharacters) {
+  RunRecord r = SampleRecord();
+  r.dataset = "weird\"name\\with\nstuff";
+  auto parsed = RecordFromJson(RecordToJson(r));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->dataset, r.dataset);
+}
+
+TEST(RecordIoTest, RejectsMalformedJson) {
+  EXPECT_FALSE(RecordFromJson("{}").ok());
+  EXPECT_FALSE(RecordFromJson("not json at all").ok());
+  EXPECT_FALSE(
+      RecordFromJson("{\"system\":\"caml\"}").ok());  // Missing fields.
+}
+
+TEST(RecordIoTest, JsonlFileRoundTrip) {
+  std::vector<RunRecord> records = {SampleRecord(), SampleRecord()};
+  records[1].system = "flaml";
+  records[1].repetition = 9;
+  const std::string path =
+      ::testing::TempDir() + "/green_records_test.jsonl";
+  ASSERT_TRUE(WriteRecordsJsonl(records, path).ok());
+  auto loaded = ReadRecordsJsonl(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].system, "caml");
+  EXPECT_EQ((*loaded)[1].system, "flaml");
+  EXPECT_EQ((*loaded)[1].repetition, 9);
+  EXPECT_FALSE(ReadRecordsJsonl("/nonexistent/records.jsonl").ok());
+}
+
+TEST(RecordIoTest, CsvHasHeaderAndRows) {
+  const std::string csv = RecordsToCsv({SampleRecord()});
+  EXPECT_NE(csv.find("system,dataset,budget_s"), std::string::npos);
+  EXPECT_NE(csv.find("caml,credit-g,30"), std::string::npos);
+  // Header + one row + trailing newline.
+  int lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(RecordIoTest, CsvFileWrite) {
+  const std::string path = ::testing::TempDir() + "/green_records.csv";
+  EXPECT_TRUE(WriteRecordsCsv({SampleRecord()}, path).ok());
+  EXPECT_FALSE(WriteRecordsCsv({}, "/nonexistent/dir/records.csv").ok());
+}
+
+}  // namespace
+}  // namespace green

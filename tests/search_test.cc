@@ -1,0 +1,529 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "green/search/bayes_opt.h"
+#include "green/ml/metrics.h"
+#include "green/search/caruana.h"
+#include "green/search/kmeans.h"
+#include "green/search/median_pruner.h"
+#include "green/search/nsga2.h"
+#include "green/search/param_space.h"
+#include "green/search/random_search.h"
+#include "green/search/rf_surrogate.h"
+#include "green/search/successive_halving.h"
+
+namespace green {
+namespace {
+
+// --- ParamSpace ---
+
+TEST(ParamSpaceTest, DecodeLinearDouble) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", -1.0, 3.0));
+  auto p = space.Decode({0.5});
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->values.at("x"), 1.0, 1e-12);
+}
+
+TEST(ParamSpaceTest, DecodeLogDouble) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("lr", 0.01, 1.0, /*log_scale=*/true));
+  auto lo = space.Decode({0.0});
+  auto mid = space.Decode({0.5});
+  auto hi = space.Decode({1.0});
+  ASSERT_TRUE(lo.ok() && mid.ok() && hi.ok());
+  EXPECT_NEAR(lo->values.at("lr"), 0.01, 1e-9);
+  EXPECT_NEAR(mid->values.at("lr"), 0.1, 1e-9);
+  EXPECT_NEAR(hi->values.at("lr"), 1.0, 1e-9);
+}
+
+TEST(ParamSpaceTest, DecodeIntInclusive) {
+  ParamSpace space;
+  space.Add(ParamSpec::Int("n", 1, 4));
+  std::set<double> seen;
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    seen.insert(space.Sample(&rng).values.at("n"));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 1.0);
+  EXPECT_EQ(*seen.rbegin(), 4.0);
+}
+
+TEST(ParamSpaceTest, DecodeCategorical) {
+  ParamSpace space;
+  space.Add(ParamSpec::Categorical("m", {"a", "b", "c"}));
+  auto lo = space.Decode({0.0});
+  auto hi = space.Decode({0.999});
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  EXPECT_EQ(lo->choices.at("m"), "a");
+  EXPECT_EQ(hi->choices.at("m"), "c");
+}
+
+TEST(ParamSpaceTest, DimensionMismatchRejected) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", 0, 1));
+  EXPECT_FALSE(space.Decode({0.1, 0.2}).ok());
+}
+
+TEST(ParamSpaceTest, IndexOf) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", 0, 1));
+  space.Add(ParamSpec::Double("y", 0, 1));
+  EXPECT_EQ(space.IndexOf("y").value(), 1u);
+  EXPECT_FALSE(space.IndexOf("z").ok());
+}
+
+TEST(ParamSpaceTest, SampleClampsOutOfRangeUnit) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", 0.0, 1.0));
+  auto p = space.Decode({1.7});
+  ASSERT_TRUE(p.ok());
+  EXPECT_LE(p->values.at("x"), 1.0);
+}
+
+// --- RandomSearch ---
+
+double Sphere(const ParamPoint& p) {
+  // Maximum 1.0 at x = 0.7.
+  const double x = p.values.at("x");
+  return 1.0 - (x - 0.7) * (x - 0.7);
+}
+
+TEST(RandomSearchTest, FindsNearOptimum) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", 0.0, 1.0));
+  Rng rng(3);
+  auto result = RandomSearch(
+      space, 200, &rng,
+      [](const ParamPoint& p) -> Result<double> { return Sphere(p); });
+  EXPECT_EQ(result.evaluations, 200);
+  EXPECT_GT(result.best_score, 0.99);
+}
+
+TEST(RandomSearchTest, SkipsErrorsAndStops) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", 0.0, 1.0));
+  Rng rng(3);
+  int calls = 0;
+  auto result = RandomSearch(
+      space, 100, &rng,
+      [&](const ParamPoint& p) -> Result<double> {
+        ++calls;
+        if (calls % 2 == 0) return Status::Internal("boom");
+        return Sphere(p);
+      },
+      [&]() { return calls >= 10; });
+  EXPECT_LE(calls, 10);
+  EXPECT_EQ(result.evaluations, 5);
+}
+
+// --- RfSurrogate ---
+
+TEST(RfSurrogateTest, FitsSimpleFunction) {
+  RfSurrogate::Options options;
+  options.num_trees = 32;
+  RfSurrogate surrogate(options);
+  Rng rng(5);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextDouble();
+    xs.push_back({x});
+    ys.push_back(x * x);
+  }
+  EXPECT_GT(surrogate.Fit(xs, ys), 0.0);
+  ASSERT_TRUE(surrogate.fitted());
+  EXPECT_NEAR(surrogate.Predict({0.9}).mean, 0.81, 0.15);
+  EXPECT_NEAR(surrogate.Predict({0.1}).mean, 0.01, 0.15);
+}
+
+TEST(RfSurrogateTest, UncertaintyNonNegative) {
+  RfSurrogate surrogate(RfSurrogate::Options{});
+  std::vector<std::vector<double>> xs = {{0.0}, {1.0}};
+  std::vector<double> ys = {0.0, 1.0};
+  surrogate.Fit(xs, ys);
+  EXPECT_GE(surrogate.Predict({0.5}).stddev, 0.0);
+}
+
+TEST(RfSurrogateTest, EmptyFitHandled) {
+  RfSurrogate surrogate(RfSurrogate::Options{});
+  EXPECT_EQ(surrogate.Fit({}, {}), 0.0);
+  EXPECT_FALSE(surrogate.fitted());
+  EXPECT_EQ(surrogate.Predict({0.5}).mean, 0.0);
+}
+
+TEST(RfSurrogateTest, ExpectedImprovementPositiveWhereBetter) {
+  RfSurrogate surrogate(RfSurrogate::Options{});
+  Rng rng(7);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.NextDouble();
+    xs.push_back({x});
+    ys.push_back(x);  // Higher x is better.
+  }
+  surrogate.Fit(xs, ys);
+  EXPECT_GT(surrogate.ExpectedImprovement({0.95}, 0.5),
+            surrogate.ExpectedImprovement({0.05}, 0.5));
+}
+
+// --- BayesOpt ---
+
+TEST(BayesOptTest, ImprovesOverInitialRandomPhase) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", 0.0, 1.0));
+  space.Add(ParamSpec::Double("y", 0.0, 1.0));
+  BayesOpt::Options options;
+  options.num_initial_random = 8;
+  options.seed = 11;
+  BayesOpt optimizer(&space, options);
+  auto objective = [](const ParamPoint& p) {
+    const double x = p.values.at("x");
+    const double y = p.values.at("y");
+    return 2.0 - (x - 0.3) * (x - 0.3) - (y - 0.8) * (y - 0.8);
+  };
+  double best_after_init = -1e300;
+  for (int i = 0; i < 60; ++i) {
+    const ParamPoint p = optimizer.Ask();
+    optimizer.Tell(p, objective(p));
+    if (i == options.num_initial_random - 1) {
+      best_after_init = optimizer.best_score();
+    }
+  }
+  EXPECT_GE(optimizer.best_score(), best_after_init);
+  EXPECT_GT(optimizer.best_score(), 1.95);
+  EXPECT_EQ(optimizer.num_observations(), 60);
+}
+
+TEST(BayesOptTest, TellManySeedsBest) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", 0.0, 1.0));
+  BayesOpt optimizer(&space, BayesOpt::Options{});
+  Rng rng(1);
+  std::vector<ParamPoint> points = {space.Sample(&rng),
+                                    space.Sample(&rng)};
+  optimizer.TellMany(points, {0.4, 0.9});
+  EXPECT_DOUBLE_EQ(optimizer.best_score(), 0.9);
+  EXPECT_EQ(optimizer.num_observations(), 2);
+}
+
+TEST(BayesOptTest, DeterministicGivenSeed) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", 0.0, 1.0));
+  BayesOpt::Options options;
+  options.seed = 77;
+  BayesOpt a(&space, options);
+  BayesOpt b(&space, options);
+  for (int i = 0; i < 20; ++i) {
+    const ParamPoint pa = a.Ask();
+    const ParamPoint pb = b.Ask();
+    ASSERT_EQ(pa.unit, pb.unit);
+    a.Tell(pa, pa.unit[0]);
+    b.Tell(pb, pb.unit[0]);
+  }
+}
+
+// --- SuccessiveHalving ---
+
+TEST(SuccessiveHalvingTest, KeepsBestArm) {
+  // Arm quality is its index; evaluation is noisy but order-preserving.
+  SuccessiveHalvingOptions options;
+  options.num_rungs = 3;
+  options.eta = 2.0;
+  auto result = SuccessiveHalving(
+      8, options,
+      [](int arm, int rung, double fraction) -> Result<double> {
+        return static_cast<double>(arm) + 0.1 * fraction;
+      });
+  EXPECT_EQ(result.best_arm, 7);
+  EXPECT_GT(result.evaluations, 8);  // More than one rung ran.
+}
+
+TEST(SuccessiveHalvingTest, BudgetFractionGrows) {
+  // Track the budget fraction of the winning arm (3), which survives
+  // every rung; it must grow strictly and reach 1.0 at the top rung.
+  std::vector<double> fractions;
+  SuccessiveHalvingOptions options;
+  options.num_rungs = 3;
+  options.min_fraction = 0.111;
+  SuccessiveHalving(4, options,
+                    [&](int arm, int rung, double f) -> Result<double> {
+                      if (arm == 3) fractions.push_back(f);
+                      return static_cast<double>(arm);
+                    });
+  ASSERT_GE(fractions.size(), 2u);
+  for (size_t i = 1; i < fractions.size(); ++i) {
+    EXPECT_GT(fractions[i], fractions[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(fractions.back(), 1.0);
+}
+
+TEST(SuccessiveHalvingTest, ErrorsEliminateArms) {
+  SuccessiveHalvingOptions options;
+  options.num_rungs = 2;
+  auto result = SuccessiveHalving(
+      4, options, [](int arm, int rung, double f) -> Result<double> {
+        if (arm == 3) return Status::Internal("always fails");
+        return static_cast<double>(arm);
+      });
+  EXPECT_EQ(result.best_arm, 2);
+}
+
+TEST(SuccessiveHalvingTest, StopsOnBudget) {
+  int evals = 0;
+  SuccessiveHalvingOptions options;
+  options.num_rungs = 4;
+  auto result = SuccessiveHalving(
+      16, options,
+      [&](int arm, int rung, double f) -> Result<double> {
+        ++evals;
+        return static_cast<double>(arm);
+      },
+      [&]() { return evals >= 5; });
+  EXPECT_LE(evals, 6);
+  EXPECT_GE(result.best_arm, 0);  // Still returns a provisional best.
+}
+
+TEST(SuccessiveHalvingTest, ZeroArms) {
+  auto result = SuccessiveHalving(
+      0, SuccessiveHalvingOptions{},
+      [](int, int, double) -> Result<double> { return 0.0; });
+  EXPECT_EQ(result.best_arm, -1);
+}
+
+// --- NSGA-II ---
+
+TEST(Nsga2Test, NonDominatedSortRanks) {
+  std::vector<Nsga2Individual> pop(3);
+  pop[0].objectives = {1.0, 1.0};  // Dominates both others.
+  pop[1].objectives = {0.5, 0.9};
+  pop[2].objectives = {0.4, 0.4};  // Dominated by both others.
+  auto fronts = NonDominatedSort(&pop);
+  EXPECT_EQ(pop[0].rank, 0);
+  EXPECT_EQ(pop[1].rank, 1);
+  EXPECT_EQ(pop[2].rank, 2);
+  EXPECT_EQ(fronts.size(), 3u);
+}
+
+TEST(Nsga2Test, IncomparableShareFront) {
+  std::vector<Nsga2Individual> pop(2);
+  pop[0].objectives = {1.0, 0.0};
+  pop[1].objectives = {0.0, 1.0};
+  auto fronts = NonDominatedSort(&pop);
+  EXPECT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(pop[0].rank, 0);
+  EXPECT_EQ(pop[1].rank, 0);
+}
+
+TEST(Nsga2Test, CrowdingBoundaryInfinite) {
+  std::vector<Nsga2Individual> pop(3);
+  pop[0].objectives = {0.0, 1.0};
+  pop[1].objectives = {0.5, 0.5};
+  pop[2].objectives = {1.0, 0.0};
+  AssignCrowdingDistance({0, 1, 2}, &pop);
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+  EXPECT_TRUE(std::isinf(pop[2].crowding));
+  EXPECT_TRUE(std::isfinite(pop[1].crowding));
+}
+
+TEST(Nsga2Test, OptimizesTwoObjectives) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", 0.0, 1.0));
+  Nsga2Options options;
+  options.population_size = 12;
+  options.generations = 8;
+  options.seed = 13;
+  // Classic trade-off: f1 = 1-x, f2 = x. The front is the whole segment;
+  // evolution should cover both ends.
+  auto result =
+      Nsga2(space, options,
+            [](const ParamPoint& p) -> Result<std::vector<double>> {
+              const double x = p.values.at("x");
+              return std::vector<double>{1.0 - x, x};
+            });
+  ASSERT_FALSE(result.population.empty());
+  double min_x = 1.0;
+  double max_x = 0.0;
+  for (const auto& ind : result.population) {
+    if (ind.rank != 0) continue;
+    min_x = std::min(min_x, ind.unit[0]);
+    max_x = std::max(max_x, ind.unit[0]);
+  }
+  EXPECT_LT(min_x, 0.3);
+  EXPECT_GT(max_x, 0.7);
+}
+
+TEST(Nsga2Test, StopsOnBudget) {
+  ParamSpace space;
+  space.Add(ParamSpec::Double("x", 0.0, 1.0));
+  Nsga2Options options;
+  options.population_size = 4;
+  options.generations = 100;
+  int evals = 0;
+  auto result = Nsga2(
+      space, options,
+      [&](const ParamPoint& p) -> Result<std::vector<double>> {
+        ++evals;
+        return std::vector<double>{p.values.at("x")};
+      },
+      [&]() { return evals >= 10; });
+  EXPECT_LE(evals, 11);
+}
+
+// --- Caruana ---
+
+TEST(CaruanaTest, PrefersAccurateMember) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  ProbaMatrix good = {{0.9, 0.1}, {0.8, 0.2}, {0.1, 0.9}, {0.2, 0.8}};
+  ProbaMatrix bad = {{0.1, 0.9}, {0.2, 0.8}, {0.9, 0.1}, {0.8, 0.2}};
+  auto result = CaruanaEnsembleSelection({good, bad}, labels, 2,
+                                         CaruanaOptions{});
+  EXPECT_GT(result.weights[0], result.weights[1]);
+  EXPECT_NEAR(result.weights[0] + result.weights[1], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.validation_score, 1.0);
+  EXPECT_GT(result.work, 0.0);
+}
+
+TEST(CaruanaTest, EnsembleAtLeastAsGoodAsBestSingle) {
+  Rng rng(17);
+  const int n = 60;
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) labels[i] = i % 2;
+  // Three noisy members with different error patterns.
+  std::vector<ProbaMatrix> library;
+  double best_single = 0.0;
+  for (int m = 0; m < 3; ++m) {
+    ProbaMatrix proba(n);
+    std::vector<int> preds(n);
+    for (int i = 0; i < n; ++i) {
+      const bool correct = rng.NextBool(0.75);
+      const int label = correct ? labels[i] : 1 - labels[i];
+      proba[i] = label == 0 ? std::vector<double>{0.8, 0.2}
+                            : std::vector<double>{0.2, 0.8};
+      preds[i] = label;
+    }
+    best_single =
+        std::max(best_single, BalancedAccuracy(labels, preds, 2));
+    library.push_back(std::move(proba));
+  }
+  auto result =
+      CaruanaEnsembleSelection(library, labels, 2, CaruanaOptions{});
+  EXPECT_GE(result.validation_score, best_single - 1e-9);
+}
+
+TEST(CaruanaTest, EmptyLibrary) {
+  auto result = CaruanaEnsembleSelection({}, {}, 2, CaruanaOptions{});
+  EXPECT_TRUE(result.weights.empty());
+}
+
+TEST(CaruanaTest, BlendProbaWeighted) {
+  ProbaMatrix a = {{1.0, 0.0}};
+  ProbaMatrix b = {{0.0, 1.0}};
+  const ProbaMatrix blended = BlendProba({a, b}, {0.75, 0.25});
+  EXPECT_NEAR(blended[0][0], 0.75, 1e-12);
+  EXPECT_NEAR(blended[0][1], 0.25, 1e-12);
+}
+
+// --- KMeans ---
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  std::vector<std::vector<double>> points;
+  Rng rng(19);
+  for (int i = 0; i < 30; ++i) {
+    points.push_back({rng.NextGaussian() * 0.1, rng.NextGaussian() * 0.1});
+    points.push_back(
+        {10.0 + rng.NextGaussian() * 0.1, rng.NextGaussian() * 0.1});
+  }
+  KMeansOptions options;
+  options.k = 2;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centroids.size(), 2u);
+  // One centroid near x=0, the other near x=10.
+  const double x0 = result->centroids[0][0];
+  const double x1 = result->centroids[1][0];
+  EXPECT_NEAR(std::min(x0, x1), 0.0, 0.5);
+  EXPECT_NEAR(std::max(x0, x1), 10.0, 0.5);
+  // Points in the same physical cluster share the assignment.
+  EXPECT_EQ(result->assignment[0], result->assignment[2]);
+  EXPECT_NE(result->assignment[0], result->assignment[1]);
+}
+
+TEST(KMeansTest, KLargerThanPoints) {
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  KMeansOptions options;
+  options.k = 10;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->centroids.size(), 2u);
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  EXPECT_FALSE(KMeans({}, KMeansOptions{}).ok());
+  KMeansOptions bad;
+  bad.k = 0;
+  EXPECT_FALSE(KMeans({{1.0}}, bad).ok());
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, KMeansOptions{}).ok());
+}
+
+TEST(KMeansTest, ClosestPointPerCentroidDedups) {
+  std::vector<std::vector<double>> points = {{0.0}, {0.1}, {10.0}};
+  KMeansOptions options;
+  options.k = 2;
+  auto result = KMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  const auto representatives = ClosestPointPerCentroid(points, *result);
+  EXPECT_GE(representatives.size(), 1u);
+  EXPECT_LE(representatives.size(), 2u);
+  std::set<size_t> unique(representatives.begin(), representatives.end());
+  EXPECT_EQ(unique.size(), representatives.size());
+}
+
+TEST(KMeansTest, InertiaDecreasesWithK) {
+  std::vector<std::vector<double>> points;
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.NextDouble() * 10, rng.NextDouble() * 10});
+  }
+  double prev = 1e300;
+  for (int k = 1; k <= 8; k *= 2) {
+    KMeansOptions options;
+    options.k = k;
+    auto result = KMeans(points, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev + 1e-9);
+    prev = result->inertia;
+  }
+}
+
+// --- MedianPruner ---
+
+TEST(MedianPrunerTest, NoPruningBeforeMinTrials) {
+  MedianPruner pruner;
+  EXPECT_FALSE(pruner.ShouldPrune(0, -100.0));
+  pruner.ReportIntermediate(0, 1.0);
+  pruner.ReportIntermediate(0, 2.0);
+  EXPECT_FALSE(pruner.ShouldPrune(0, -100.0));  // Only 2 < min_trials.
+}
+
+TEST(MedianPrunerTest, PrunesBelowMedian) {
+  MedianPruner pruner;
+  for (double v : {1.0, 2.0, 3.0}) pruner.ReportIntermediate(0, v);
+  EXPECT_TRUE(pruner.ShouldPrune(0, 1.5));   // Below median 2.
+  EXPECT_FALSE(pruner.ShouldPrune(0, 2.5));  // Above median.
+  EXPECT_EQ(pruner.NumObservations(0), 3u);
+  EXPECT_EQ(pruner.NumObservations(7), 0u);
+}
+
+TEST(MedianPrunerTest, StepsIndependent) {
+  MedianPruner pruner;
+  for (double v : {10.0, 20.0, 30.0}) pruner.ReportIntermediate(1, v);
+  EXPECT_FALSE(pruner.ShouldPrune(0, 0.0));  // Step 0 has no history.
+  EXPECT_TRUE(pruner.ShouldPrune(1, 5.0));
+}
+
+}  // namespace
+}  // namespace green

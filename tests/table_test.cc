@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "green/table/column.h"
+#include "green/table/csv.h"
+#include "green/table/dataset.h"
+#include "green/table/metafeatures.h"
+#include "green/table/split.h"
+
+namespace green {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset data("tiny", 2, 2);
+  data.SetFeatureType(1, FeatureType::kCategorical);
+  EXPECT_TRUE(data.AppendRow({1.0, 0.0}, 0).ok());
+  EXPECT_TRUE(data.AppendRow({2.0, 1.0}, 1).ok());
+  EXPECT_TRUE(data.AppendRow({3.0, 0.0}, 0).ok());
+  EXPECT_TRUE(data.AppendRow({4.0, 2.0}, 1).ok());
+  return data;
+}
+
+/// Balanced k-class dataset with n rows and d features.
+Dataset MakeDataset(size_t n, size_t d, int k, uint64_t seed = 1) {
+  Dataset data("made", d, k);
+  Rng rng(seed);
+  std::vector<double> row(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (double& v : row) v = rng.NextGaussian();
+    EXPECT_TRUE(
+        data.AppendRow(row, static_cast<int>(i % static_cast<size_t>(k)))
+            .ok());
+  }
+  return data;
+}
+
+// --- Column ---
+
+TEST(ColumnTest, BasicStats) {
+  Column col("x", FeatureType::kNumeric);
+  for (double v : std::vector<double>{1.0, 2.0, NAN, 4.0}) col.Append(v);
+  EXPECT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.MissingCount(), 1u);
+  EXPECT_NEAR(col.MeanIgnoringMissing(), 7.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(col.MinIgnoringMissing(), 1.0);
+  EXPECT_DOUBLE_EQ(col.MaxIgnoringMissing(), 4.0);
+}
+
+TEST(ColumnTest, AllMissing) {
+  Column col("x", FeatureType::kNumeric);
+  col.Append(NAN);
+  EXPECT_EQ(col.MeanIgnoringMissing(), 0.0);
+  EXPECT_EQ(col.Cardinality(), 0);
+}
+
+TEST(ColumnTest, Cardinality) {
+  Column col("c", FeatureType::kCategorical);
+  for (double v : {0.0, 2.0, 1.0, 2.0}) col.Append(v);
+  EXPECT_EQ(col.Cardinality(), 3);
+}
+
+// --- Dataset ---
+
+TEST(DatasetTest, ShapeAndAccess) {
+  const Dataset data = TinyDataset();
+  EXPECT_EQ(data.num_rows(), 4u);
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_EQ(data.num_classes(), 2);
+  EXPECT_DOUBLE_EQ(data.At(2, 0), 3.0);
+  EXPECT_EQ(data.Label(3), 1);
+  EXPECT_EQ(data.NumCategorical(), 1u);
+}
+
+TEST(DatasetTest, RejectsBadRows) {
+  Dataset data("bad", 2, 2);
+  EXPECT_FALSE(data.AppendRow({1.0}, 0).ok());          // Wrong width.
+  EXPECT_FALSE(data.AppendRow({1.0, 2.0}, 2).ok());     // Label too big.
+  EXPECT_FALSE(data.AppendRow({1.0, 2.0}, -1).ok());    // Negative label.
+  EXPECT_EQ(data.num_rows(), 0u);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  const Dataset data = TinyDataset();
+  const std::vector<int> counts = data.ClassCounts();
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+}
+
+TEST(DatasetTest, SubsetPreservesMetadata) {
+  const Dataset data = TinyDataset();
+  const Dataset sub = data.Subset({1, 3});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.Label(0), 1);
+  EXPECT_DOUBLE_EQ(sub.At(1, 0), 4.0);
+  EXPECT_EQ(sub.feature_type(1), FeatureType::kCategorical);
+  EXPECT_EQ(sub.name(), "tiny");
+}
+
+TEST(DatasetTest, SelectFeatures) {
+  const Dataset data = TinyDataset();
+  const Dataset narrow = data.SelectFeatures({1});
+  EXPECT_EQ(narrow.num_features(), 1u);
+  EXPECT_EQ(narrow.feature_type(0), FeatureType::kCategorical);
+  EXPECT_DOUBLE_EQ(narrow.At(3, 0), 2.0);
+  EXPECT_EQ(narrow.labels(), data.labels());
+}
+
+TEST(DatasetTest, ScaleFactor) {
+  Dataset data = TinyDataset();
+  EXPECT_DOUBLE_EQ(data.ScaleFactor(), 1.0);
+  data.SetNominalSize(400, 2);
+  EXPECT_DOUBLE_EQ(data.ScaleFactor(), 100.0);
+  data.SetNominalSize(1, 2);  // Nominal smaller than instantiated.
+  EXPECT_DOUBLE_EQ(data.ScaleFactor(), 1.0);
+}
+
+// --- splits ---
+
+TEST(SplitTest, StratifiedFractions) {
+  const Dataset data = MakeDataset(300, 3, 3);
+  Rng rng(5);
+  const TrainTestIndices split = StratifiedSplit(data, 0.66, &rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), data.num_rows());
+  EXPECT_NEAR(static_cast<double>(split.train.size()) /
+                  static_cast<double>(data.num_rows()),
+              0.66, 0.02);
+  // Stratification: each class keeps its share on both sides.
+  const Dataset train = data.Subset(split.train);
+  const std::vector<int> counts = train.ClassCounts();
+  for (int c : counts) EXPECT_NEAR(c, 66, 2);
+}
+
+TEST(SplitTest, SplitIsDisjointAndCovering) {
+  const Dataset data = MakeDataset(100, 2, 2);
+  Rng rng(7);
+  const TrainTestIndices split = StratifiedSplit(data, 0.5, &rng);
+  std::set<size_t> all(split.train.begin(), split.train.end());
+  for (size_t t : split.test) {
+    EXPECT_TRUE(all.insert(t).second) << "row in both sides";
+  }
+  EXPECT_EQ(all.size(), data.num_rows());
+}
+
+TEST(SplitTest, KFoldPartitions) {
+  const Dataset data = MakeDataset(100, 2, 4);
+  Rng rng(9);
+  const auto folds = StratifiedKFold(data, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<size_t> seen;
+  for (const auto& fold : folds) {
+    EXPECT_NEAR(fold.size(), 20, 1);
+    for (size_t r : fold) EXPECT_TRUE(seen.insert(r).second);
+  }
+  EXPECT_EQ(seen.size(), data.num_rows());
+}
+
+TEST(SplitTest, SamplePerClassCaps) {
+  const Dataset data = MakeDataset(90, 2, 3);
+  Rng rng(11);
+  const auto sample = SamplePerClass(data, 5, &rng);
+  EXPECT_EQ(sample.size(), 15u);
+  const Dataset sub = data.Subset(sample);
+  for (int c : sub.ClassCounts()) EXPECT_EQ(c, 5);
+}
+
+TEST(SplitTest, SamplePerClassExhaustsSmallClasses) {
+  const Dataset data = MakeDataset(10, 2, 2);
+  Rng rng(13);
+  const auto sample = SamplePerClass(data, 100, &rng);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(SplitTest, SampleRows) {
+  const Dataset data = MakeDataset(50, 2, 2);
+  Rng rng(15);
+  EXPECT_EQ(SampleRows(data, 20, &rng).size(), 20u);
+  EXPECT_EQ(SampleRows(data, 500, &rng).size(), 50u);
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  const Dataset data = MakeDataset(60, 2, 2);
+  Rng rng1(21);
+  Rng rng2(21);
+  EXPECT_EQ(StratifiedSplit(data, 0.5, &rng1).train,
+            StratifiedSplit(data, 0.5, &rng2).train);
+}
+
+// Property sweep: every class present on both sides for many fractions.
+class SplitFractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitFractionTest, BothSidesCoverAllClasses) {
+  const Dataset data = MakeDataset(120, 3, 4);
+  Rng rng(33);
+  const TrainTestIndices split = StratifiedSplit(data, GetParam(), &rng);
+  for (int c : data.Subset(split.train).ClassCounts()) EXPECT_GT(c, 0);
+  for (int c : data.Subset(split.test).ClassCounts()) EXPECT_GT(c, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitFractionTest,
+                         ::testing::Values(0.2, 0.34, 0.5, 0.66, 0.8));
+
+// --- CSV ---
+
+TEST(CsvTest, RoundTrip) {
+  Dataset data = TinyDataset();
+  data.Set(0, 0, NAN);  // Exercise a missing value.
+  const std::string text = ToCsvString(data);
+  auto parsed = FromCsvString(text, "tiny");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 4u);
+  EXPECT_EQ(parsed->num_classes(), 2);
+  EXPECT_TRUE(std::isnan(parsed->At(0, 0)));
+  EXPECT_DOUBLE_EQ(parsed->At(3, 0), 4.0);
+  EXPECT_EQ(parsed->feature_type(1), FeatureType::kCategorical);
+  EXPECT_EQ(parsed->Label(1), 1);
+}
+
+TEST(CsvTest, RejectsMalformed) {
+  EXPECT_FALSE(FromCsvString("", "x").ok());
+  EXPECT_FALSE(FromCsvString("a,b\n1,2\n", "x").ok());  // No label col.
+  EXPECT_FALSE(FromCsvString("a,label\n1\n", "x").ok());  // Short row.
+  EXPECT_FALSE(FromCsvString("a,label\n", "x").ok());     // No rows.
+  EXPECT_FALSE(FromCsvString("a,label\n1,-3\n", "x").ok());  // Neg label.
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const Dataset data = TinyDataset();
+  const std::string path = ::testing::TempDir() + "/green_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(data, path).ok());
+  auto loaded = ReadCsv(path, "tiny");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), data.num_rows());
+  EXPECT_FALSE(ReadCsv("/nonexistent/no.csv", "x").ok());
+}
+
+// --- MetaFeatures ---
+
+TEST(MetaFeaturesTest, BasicValues) {
+  const Dataset data = MakeDataset(1000, 10, 2);
+  const MetaFeatures mf = ComputeMetaFeatures(data);
+  EXPECT_NEAR(mf.log_rows, 3.0, 1e-9);
+  EXPECT_NEAR(mf.log_features, 1.0, 1e-9);
+  EXPECT_NEAR(mf.log_classes, std::log10(2.0), 1e-9);
+  EXPECT_NEAR(mf.class_entropy, 1.0, 1e-6);  // Perfectly balanced.
+  EXPECT_NEAR(mf.class_imbalance, 0.0, 1e-9);
+  EXPECT_EQ(mf.categorical_fraction, 0.0);
+  EXPECT_EQ(mf.missing_fraction, 0.0);
+}
+
+TEST(MetaFeaturesTest, UsesNominalSizeWhenSet) {
+  Dataset data = MakeDataset(100, 4, 2);
+  data.SetNominalSize(100000, 400);
+  const MetaFeatures mf = ComputeMetaFeatures(data);
+  EXPECT_NEAR(mf.log_rows, 5.0, 1e-9);
+  EXPECT_NEAR(mf.log_features, std::log10(400.0), 1e-9);
+}
+
+TEST(MetaFeaturesTest, ImbalanceDetected) {
+  Dataset data("imb", 1, 2);
+  for (int i = 0; i < 90; ++i) ASSERT_TRUE(data.AppendRow({0.0}, 0).ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(data.AppendRow({0.0}, 1).ok());
+  const MetaFeatures mf = ComputeMetaFeatures(data);
+  EXPECT_GT(mf.class_imbalance, 0.8);
+  EXPECT_LT(mf.class_entropy, 0.6);
+}
+
+TEST(MetaFeaturesTest, DistanceIsMetricLike) {
+  const MetaFeatures a = ComputeMetaFeatures(MakeDataset(100, 5, 2));
+  const MetaFeatures b = ComputeMetaFeatures(MakeDataset(100, 5, 2, 9));
+  const MetaFeatures c = ComputeMetaFeatures(MakeDataset(5000, 50, 10));
+  EXPECT_NEAR(MetaFeatureDistance(a, a), 0.0, 1e-12);
+  // Same-shape datasets are closer than differently-shaped ones.
+  EXPECT_LT(MetaFeatureDistance(a, b), MetaFeatureDistance(a, c));
+}
+
+TEST(MetaFeaturesTest, VectorDimensionStable) {
+  const MetaFeatures mf;
+  EXPECT_EQ(mf.ToVector().size(), MetaFeatures::kDim);
+}
+
+}  // namespace
+}  // namespace green
