@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_early_stopping.dir/ablation_early_stopping.cc.o"
+  "CMakeFiles/ablation_early_stopping.dir/ablation_early_stopping.cc.o.d"
+  "ablation_early_stopping"
+  "ablation_early_stopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_early_stopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_execution_inference.dir/fig3_execution_inference.cc.o"
+  "CMakeFiles/fig3_execution_inference.dir/fig3_execution_inference.cc.o.d"
+  "fig3_execution_inference"
+  "fig3_execution_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_execution_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

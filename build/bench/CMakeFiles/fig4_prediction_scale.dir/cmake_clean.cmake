@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_prediction_scale.dir/fig4_prediction_scale.cc.o"
+  "CMakeFiles/fig4_prediction_scale.dir/fig4_prediction_scale.cc.o.d"
+  "fig4_prediction_scale"
+  "fig4_prediction_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_prediction_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

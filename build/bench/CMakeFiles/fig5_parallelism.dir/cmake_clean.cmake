@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_parallelism.dir/fig5_parallelism.cc.o"
+  "CMakeFiles/fig5_parallelism.dir/fig5_parallelism.cc.o.d"
+  "fig5_parallelism"
+  "fig5_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

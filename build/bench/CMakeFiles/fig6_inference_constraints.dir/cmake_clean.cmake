@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_inference_constraints.dir/fig6_inference_constraints.cc.o"
+  "CMakeFiles/fig6_inference_constraints.dir/fig6_inference_constraints.cc.o.d"
+  "fig6_inference_constraints"
+  "fig6_inference_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_inference_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

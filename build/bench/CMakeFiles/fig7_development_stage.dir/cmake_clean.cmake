@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_development_stage.dir/fig7_development_stage.cc.o"
+  "CMakeFiles/fig7_development_stage.dir/fig7_development_stage.cc.o.d"
+  "fig7_development_stage"
+  "fig7_development_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_development_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

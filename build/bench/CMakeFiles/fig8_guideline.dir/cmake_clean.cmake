@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_guideline.dir/fig8_guideline.cc.o"
+  "CMakeFiles/fig8_guideline.dir/fig8_guideline.cc.o.d"
+  "fig8_guideline"
+  "fig8_guideline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_guideline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_gpu.dir/table3_gpu.cc.o"
+  "CMakeFiles/table3_gpu.dir/table3_gpu.cc.o.d"
+  "table3_gpu"
+  "table3_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

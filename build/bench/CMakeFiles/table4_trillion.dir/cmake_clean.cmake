@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_trillion.dir/table4_trillion.cc.o"
+  "CMakeFiles/table4_trillion.dir/table4_trillion.cc.o.d"
+  "table4_trillion"
+  "table4_trillion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_trillion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

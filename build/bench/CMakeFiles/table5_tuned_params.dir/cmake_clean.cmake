@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_tuned_params.dir/table5_tuned_params.cc.o"
+  "CMakeFiles/table5_tuned_params.dir/table5_tuned_params.cc.o.d"
+  "table5_tuned_params"
+  "table5_tuned_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_tuned_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_overfitting.dir/table6_overfitting.cc.o"
+  "CMakeFiles/table6_overfitting.dir/table6_overfitting.cc.o.d"
+  "table6_overfitting"
+  "table6_overfitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_overfitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

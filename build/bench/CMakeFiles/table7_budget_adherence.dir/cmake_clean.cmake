@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_budget_adherence.dir/table7_budget_adherence.cc.o"
+  "CMakeFiles/table7_budget_adherence.dir/table7_budget_adherence.cc.o.d"
+  "table7_budget_adherence"
+  "table7_budget_adherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_budget_adherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_topk_datasets.dir/table8_topk_datasets.cc.o"
+  "CMakeFiles/table8_topk_datasets.dir/table8_topk_datasets.cc.o.d"
+  "table8_topk_datasets"
+  "table8_topk_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_topk_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

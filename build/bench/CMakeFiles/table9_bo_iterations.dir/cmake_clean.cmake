@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_bo_iterations.dir/table9_bo_iterations.cc.o"
+  "CMakeFiles/table9_bo_iterations.dir/table9_bo_iterations.cc.o.d"
+  "table9_bo_iterations"
+  "table9_bo_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_bo_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table9_bo_iterations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_detection_deployment.dir/fraud_detection_deployment.cc.o"
+  "CMakeFiles/fraud_detection_deployment.dir/fraud_detection_deployment.cc.o.d"
+  "fraud_detection_deployment"
+  "fraud_detection_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_detection_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_automl_cli.dir/green_automl_cli.cc.o"
+  "CMakeFiles/green_automl_cli.dir/green_automl_cli.cc.o.d"
+  "green_automl_cli"
+  "green_automl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_automl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_adhoc_diagnosis.dir/medical_adhoc_diagnosis.cc.o"
+  "CMakeFiles/medical_adhoc_diagnosis.dir/medical_adhoc_diagnosis.cc.o.d"
+  "medical_adhoc_diagnosis"
+  "medical_adhoc_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_adhoc_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tuning_campaign.cc" "examples/CMakeFiles/tuning_campaign.dir/tuning_campaign.cc.o" "gcc" "examples/CMakeFiles/tuning_campaign.dir/tuning_campaign.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/green_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_metaopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_automl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_campaign.dir/tuning_campaign.cc.o"
+  "CMakeFiles/tuning_campaign.dir/tuning_campaign.cc.o.d"
+  "tuning_campaign"
+  "tuning_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

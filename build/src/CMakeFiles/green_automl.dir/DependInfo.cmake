@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/green/automl/askl_system.cc" "src/CMakeFiles/green_automl.dir/green/automl/askl_system.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/askl_system.cc.o.d"
+  "/root/repo/src/green/automl/automl_system.cc" "src/CMakeFiles/green_automl.dir/green/automl/automl_system.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/automl_system.cc.o.d"
+  "/root/repo/src/green/automl/caml_system.cc" "src/CMakeFiles/green_automl.dir/green/automl/caml_system.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/caml_system.cc.o.d"
+  "/root/repo/src/green/automl/fitted_artifact.cc" "src/CMakeFiles/green_automl.dir/green/automl/fitted_artifact.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/fitted_artifact.cc.o.d"
+  "/root/repo/src/green/automl/flaml_system.cc" "src/CMakeFiles/green_automl.dir/green/automl/flaml_system.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/flaml_system.cc.o.d"
+  "/root/repo/src/green/automl/gluon_system.cc" "src/CMakeFiles/green_automl.dir/green/automl/gluon_system.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/gluon_system.cc.o.d"
+  "/root/repo/src/green/automl/guideline.cc" "src/CMakeFiles/green_automl.dir/green/automl/guideline.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/guideline.cc.o.d"
+  "/root/repo/src/green/automl/random_search_system.cc" "src/CMakeFiles/green_automl.dir/green/automl/random_search_system.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/random_search_system.cc.o.d"
+  "/root/repo/src/green/automl/search_model_space.cc" "src/CMakeFiles/green_automl.dir/green/automl/search_model_space.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/search_model_space.cc.o.d"
+  "/root/repo/src/green/automl/tabpfn_system.cc" "src/CMakeFiles/green_automl.dir/green/automl/tabpfn_system.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/tabpfn_system.cc.o.d"
+  "/root/repo/src/green/automl/tpot_system.cc" "src/CMakeFiles/green_automl.dir/green/automl/tpot_system.cc.o" "gcc" "src/CMakeFiles/green_automl.dir/green/automl/tpot_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/green_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

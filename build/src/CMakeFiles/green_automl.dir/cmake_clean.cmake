@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_automl.dir/green/automl/askl_system.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/askl_system.cc.o.d"
+  "CMakeFiles/green_automl.dir/green/automl/automl_system.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/automl_system.cc.o.d"
+  "CMakeFiles/green_automl.dir/green/automl/caml_system.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/caml_system.cc.o.d"
+  "CMakeFiles/green_automl.dir/green/automl/fitted_artifact.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/fitted_artifact.cc.o.d"
+  "CMakeFiles/green_automl.dir/green/automl/flaml_system.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/flaml_system.cc.o.d"
+  "CMakeFiles/green_automl.dir/green/automl/gluon_system.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/gluon_system.cc.o.d"
+  "CMakeFiles/green_automl.dir/green/automl/guideline.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/guideline.cc.o.d"
+  "CMakeFiles/green_automl.dir/green/automl/random_search_system.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/random_search_system.cc.o.d"
+  "CMakeFiles/green_automl.dir/green/automl/search_model_space.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/search_model_space.cc.o.d"
+  "CMakeFiles/green_automl.dir/green/automl/tabpfn_system.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/tabpfn_system.cc.o.d"
+  "CMakeFiles/green_automl.dir/green/automl/tpot_system.cc.o"
+  "CMakeFiles/green_automl.dir/green/automl/tpot_system.cc.o.d"
+  "libgreen_automl.a"
+  "libgreen_automl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_automl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_benchutil.dir/green/bench_util/aggregate.cc.o"
+  "CMakeFiles/green_benchutil.dir/green/bench_util/aggregate.cc.o.d"
+  "CMakeFiles/green_benchutil.dir/green/bench_util/experiment.cc.o"
+  "CMakeFiles/green_benchutil.dir/green/bench_util/experiment.cc.o.d"
+  "CMakeFiles/green_benchutil.dir/green/bench_util/record_io.cc.o"
+  "CMakeFiles/green_benchutil.dir/green/bench_util/record_io.cc.o.d"
+  "CMakeFiles/green_benchutil.dir/green/bench_util/table_printer.cc.o"
+  "CMakeFiles/green_benchutil.dir/green/bench_util/table_printer.cc.o.d"
+  "libgreen_benchutil.a"
+  "libgreen_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

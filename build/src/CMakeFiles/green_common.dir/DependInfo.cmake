@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/green/common/logging.cc" "src/CMakeFiles/green_common.dir/green/common/logging.cc.o" "gcc" "src/CMakeFiles/green_common.dir/green/common/logging.cc.o.d"
+  "/root/repo/src/green/common/mathutil.cc" "src/CMakeFiles/green_common.dir/green/common/mathutil.cc.o" "gcc" "src/CMakeFiles/green_common.dir/green/common/mathutil.cc.o.d"
+  "/root/repo/src/green/common/rng.cc" "src/CMakeFiles/green_common.dir/green/common/rng.cc.o" "gcc" "src/CMakeFiles/green_common.dir/green/common/rng.cc.o.d"
+  "/root/repo/src/green/common/status.cc" "src/CMakeFiles/green_common.dir/green/common/status.cc.o" "gcc" "src/CMakeFiles/green_common.dir/green/common/status.cc.o.d"
+  "/root/repo/src/green/common/stringutil.cc" "src/CMakeFiles/green_common.dir/green/common/stringutil.cc.o" "gcc" "src/CMakeFiles/green_common.dir/green/common/stringutil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

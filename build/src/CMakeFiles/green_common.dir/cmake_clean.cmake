@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_common.dir/green/common/logging.cc.o"
+  "CMakeFiles/green_common.dir/green/common/logging.cc.o.d"
+  "CMakeFiles/green_common.dir/green/common/mathutil.cc.o"
+  "CMakeFiles/green_common.dir/green/common/mathutil.cc.o.d"
+  "CMakeFiles/green_common.dir/green/common/rng.cc.o"
+  "CMakeFiles/green_common.dir/green/common/rng.cc.o.d"
+  "CMakeFiles/green_common.dir/green/common/status.cc.o"
+  "CMakeFiles/green_common.dir/green/common/status.cc.o.d"
+  "CMakeFiles/green_common.dir/green/common/stringutil.cc.o"
+  "CMakeFiles/green_common.dir/green/common/stringutil.cc.o.d"
+  "libgreen_common.a"
+  "libgreen_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/green/data/amlb_suite.cc" "src/CMakeFiles/green_data.dir/green/data/amlb_suite.cc.o" "gcc" "src/CMakeFiles/green_data.dir/green/data/amlb_suite.cc.o.d"
+  "/root/repo/src/green/data/meta_corpus.cc" "src/CMakeFiles/green_data.dir/green/data/meta_corpus.cc.o" "gcc" "src/CMakeFiles/green_data.dir/green/data/meta_corpus.cc.o.d"
+  "/root/repo/src/green/data/synthetic.cc" "src/CMakeFiles/green_data.dir/green/data/synthetic.cc.o" "gcc" "src/CMakeFiles/green_data.dir/green/data/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/green_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

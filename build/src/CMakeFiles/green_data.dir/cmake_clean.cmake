@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_data.dir/green/data/amlb_suite.cc.o"
+  "CMakeFiles/green_data.dir/green/data/amlb_suite.cc.o.d"
+  "CMakeFiles/green_data.dir/green/data/meta_corpus.cc.o"
+  "CMakeFiles/green_data.dir/green/data/meta_corpus.cc.o.d"
+  "CMakeFiles/green_data.dir/green/data/synthetic.cc.o"
+  "CMakeFiles/green_data.dir/green/data/synthetic.cc.o.d"
+  "libgreen_data.a"
+  "libgreen_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/green/energy/co2.cc" "src/CMakeFiles/green_energy.dir/green/energy/co2.cc.o" "gcc" "src/CMakeFiles/green_energy.dir/green/energy/co2.cc.o.d"
+  "/root/repo/src/green/energy/energy_meter.cc" "src/CMakeFiles/green_energy.dir/green/energy/energy_meter.cc.o" "gcc" "src/CMakeFiles/green_energy.dir/green/energy/energy_meter.cc.o.d"
+  "/root/repo/src/green/energy/energy_model.cc" "src/CMakeFiles/green_energy.dir/green/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/green_energy.dir/green/energy/energy_model.cc.o.d"
+  "/root/repo/src/green/energy/machine_model.cc" "src/CMakeFiles/green_energy.dir/green/energy/machine_model.cc.o" "gcc" "src/CMakeFiles/green_energy.dir/green/energy/machine_model.cc.o.d"
+  "/root/repo/src/green/energy/powercap_reader.cc" "src/CMakeFiles/green_energy.dir/green/energy/powercap_reader.cc.o" "gcc" "src/CMakeFiles/green_energy.dir/green/energy/powercap_reader.cc.o.d"
+  "/root/repo/src/green/energy/rapl_simulator.cc" "src/CMakeFiles/green_energy.dir/green/energy/rapl_simulator.cc.o" "gcc" "src/CMakeFiles/green_energy.dir/green/energy/rapl_simulator.cc.o.d"
+  "/root/repo/src/green/energy/stage_ledger.cc" "src/CMakeFiles/green_energy.dir/green/energy/stage_ledger.cc.o" "gcc" "src/CMakeFiles/green_energy.dir/green/energy/stage_ledger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/green_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

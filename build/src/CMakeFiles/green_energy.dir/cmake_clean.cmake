@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_energy.dir/green/energy/co2.cc.o"
+  "CMakeFiles/green_energy.dir/green/energy/co2.cc.o.d"
+  "CMakeFiles/green_energy.dir/green/energy/energy_meter.cc.o"
+  "CMakeFiles/green_energy.dir/green/energy/energy_meter.cc.o.d"
+  "CMakeFiles/green_energy.dir/green/energy/energy_model.cc.o"
+  "CMakeFiles/green_energy.dir/green/energy/energy_model.cc.o.d"
+  "CMakeFiles/green_energy.dir/green/energy/machine_model.cc.o"
+  "CMakeFiles/green_energy.dir/green/energy/machine_model.cc.o.d"
+  "CMakeFiles/green_energy.dir/green/energy/powercap_reader.cc.o"
+  "CMakeFiles/green_energy.dir/green/energy/powercap_reader.cc.o.d"
+  "CMakeFiles/green_energy.dir/green/energy/rapl_simulator.cc.o"
+  "CMakeFiles/green_energy.dir/green/energy/rapl_simulator.cc.o.d"
+  "CMakeFiles/green_energy.dir/green/energy/stage_ledger.cc.o"
+  "CMakeFiles/green_energy.dir/green/energy/stage_ledger.cc.o.d"
+  "libgreen_energy.a"
+  "libgreen_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_metaopt.dir/green/metaopt/automl_tuner.cc.o"
+  "CMakeFiles/green_metaopt.dir/green/metaopt/automl_tuner.cc.o.d"
+  "CMakeFiles/green_metaopt.dir/green/metaopt/representative.cc.o"
+  "CMakeFiles/green_metaopt.dir/green/metaopt/representative.cc.o.d"
+  "CMakeFiles/green_metaopt.dir/green/metaopt/tuned_config_store.cc.o"
+  "CMakeFiles/green_metaopt.dir/green/metaopt/tuned_config_store.cc.o.d"
+  "libgreen_metaopt.a"
+  "libgreen_metaopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_metaopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

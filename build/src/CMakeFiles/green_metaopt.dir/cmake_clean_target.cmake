@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgreen_metaopt.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for green_metaopt.
+# This may be replaced when dependencies are built.

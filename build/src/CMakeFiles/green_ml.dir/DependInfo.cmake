@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/green/ml/estimator.cc" "src/CMakeFiles/green_ml.dir/green/ml/estimator.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/estimator.cc.o.d"
+  "/root/repo/src/green/ml/metrics.cc" "src/CMakeFiles/green_ml.dir/green/ml/metrics.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/metrics.cc.o.d"
+  "/root/repo/src/green/ml/model_registry.cc" "src/CMakeFiles/green_ml.dir/green/ml/model_registry.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/model_registry.cc.o.d"
+  "/root/repo/src/green/ml/models/adaboost.cc" "src/CMakeFiles/green_ml.dir/green/ml/models/adaboost.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/models/adaboost.cc.o.d"
+  "/root/repo/src/green/ml/models/attention_few_shot.cc" "src/CMakeFiles/green_ml.dir/green/ml/models/attention_few_shot.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/models/attention_few_shot.cc.o.d"
+  "/root/repo/src/green/ml/models/decision_tree.cc" "src/CMakeFiles/green_ml.dir/green/ml/models/decision_tree.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/models/decision_tree.cc.o.d"
+  "/root/repo/src/green/ml/models/extra_trees.cc" "src/CMakeFiles/green_ml.dir/green/ml/models/extra_trees.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/models/extra_trees.cc.o.d"
+  "/root/repo/src/green/ml/models/gradient_boosting.cc" "src/CMakeFiles/green_ml.dir/green/ml/models/gradient_boosting.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/models/gradient_boosting.cc.o.d"
+  "/root/repo/src/green/ml/models/knn.cc" "src/CMakeFiles/green_ml.dir/green/ml/models/knn.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/models/knn.cc.o.d"
+  "/root/repo/src/green/ml/models/logistic_regression.cc" "src/CMakeFiles/green_ml.dir/green/ml/models/logistic_regression.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/models/logistic_regression.cc.o.d"
+  "/root/repo/src/green/ml/models/mlp.cc" "src/CMakeFiles/green_ml.dir/green/ml/models/mlp.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/models/mlp.cc.o.d"
+  "/root/repo/src/green/ml/models/naive_bayes.cc" "src/CMakeFiles/green_ml.dir/green/ml/models/naive_bayes.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/models/naive_bayes.cc.o.d"
+  "/root/repo/src/green/ml/models/random_forest.cc" "src/CMakeFiles/green_ml.dir/green/ml/models/random_forest.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/models/random_forest.cc.o.d"
+  "/root/repo/src/green/ml/pipeline.cc" "src/CMakeFiles/green_ml.dir/green/ml/pipeline.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/pipeline.cc.o.d"
+  "/root/repo/src/green/ml/preprocess/binning.cc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/binning.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/binning.cc.o.d"
+  "/root/repo/src/green/ml/preprocess/feature_selection.cc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/feature_selection.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/feature_selection.cc.o.d"
+  "/root/repo/src/green/ml/preprocess/imputer.cc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/imputer.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/imputer.cc.o.d"
+  "/root/repo/src/green/ml/preprocess/one_hot.cc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/one_hot.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/one_hot.cc.o.d"
+  "/root/repo/src/green/ml/preprocess/pca.cc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/pca.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/pca.cc.o.d"
+  "/root/repo/src/green/ml/preprocess/scaler.cc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/scaler.cc.o" "gcc" "src/CMakeFiles/green_ml.dir/green/ml/preprocess/scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/green_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

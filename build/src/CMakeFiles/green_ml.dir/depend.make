@@ -1,0 +1,2 @@
+# Empty dependencies file for green_ml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/green/search/bayes_opt.cc" "src/CMakeFiles/green_search.dir/green/search/bayes_opt.cc.o" "gcc" "src/CMakeFiles/green_search.dir/green/search/bayes_opt.cc.o.d"
+  "/root/repo/src/green/search/caruana.cc" "src/CMakeFiles/green_search.dir/green/search/caruana.cc.o" "gcc" "src/CMakeFiles/green_search.dir/green/search/caruana.cc.o.d"
+  "/root/repo/src/green/search/kmeans.cc" "src/CMakeFiles/green_search.dir/green/search/kmeans.cc.o" "gcc" "src/CMakeFiles/green_search.dir/green/search/kmeans.cc.o.d"
+  "/root/repo/src/green/search/median_pruner.cc" "src/CMakeFiles/green_search.dir/green/search/median_pruner.cc.o" "gcc" "src/CMakeFiles/green_search.dir/green/search/median_pruner.cc.o.d"
+  "/root/repo/src/green/search/nsga2.cc" "src/CMakeFiles/green_search.dir/green/search/nsga2.cc.o" "gcc" "src/CMakeFiles/green_search.dir/green/search/nsga2.cc.o.d"
+  "/root/repo/src/green/search/param_space.cc" "src/CMakeFiles/green_search.dir/green/search/param_space.cc.o" "gcc" "src/CMakeFiles/green_search.dir/green/search/param_space.cc.o.d"
+  "/root/repo/src/green/search/random_search.cc" "src/CMakeFiles/green_search.dir/green/search/random_search.cc.o" "gcc" "src/CMakeFiles/green_search.dir/green/search/random_search.cc.o.d"
+  "/root/repo/src/green/search/rf_surrogate.cc" "src/CMakeFiles/green_search.dir/green/search/rf_surrogate.cc.o" "gcc" "src/CMakeFiles/green_search.dir/green/search/rf_surrogate.cc.o.d"
+  "/root/repo/src/green/search/successive_halving.cc" "src/CMakeFiles/green_search.dir/green/search/successive_halving.cc.o" "gcc" "src/CMakeFiles/green_search.dir/green/search/successive_halving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/green_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

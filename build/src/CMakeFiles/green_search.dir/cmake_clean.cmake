@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_search.dir/green/search/bayes_opt.cc.o"
+  "CMakeFiles/green_search.dir/green/search/bayes_opt.cc.o.d"
+  "CMakeFiles/green_search.dir/green/search/caruana.cc.o"
+  "CMakeFiles/green_search.dir/green/search/caruana.cc.o.d"
+  "CMakeFiles/green_search.dir/green/search/kmeans.cc.o"
+  "CMakeFiles/green_search.dir/green/search/kmeans.cc.o.d"
+  "CMakeFiles/green_search.dir/green/search/median_pruner.cc.o"
+  "CMakeFiles/green_search.dir/green/search/median_pruner.cc.o.d"
+  "CMakeFiles/green_search.dir/green/search/nsga2.cc.o"
+  "CMakeFiles/green_search.dir/green/search/nsga2.cc.o.d"
+  "CMakeFiles/green_search.dir/green/search/param_space.cc.o"
+  "CMakeFiles/green_search.dir/green/search/param_space.cc.o.d"
+  "CMakeFiles/green_search.dir/green/search/random_search.cc.o"
+  "CMakeFiles/green_search.dir/green/search/random_search.cc.o.d"
+  "CMakeFiles/green_search.dir/green/search/rf_surrogate.cc.o"
+  "CMakeFiles/green_search.dir/green/search/rf_surrogate.cc.o.d"
+  "CMakeFiles/green_search.dir/green/search/successive_halving.cc.o"
+  "CMakeFiles/green_search.dir/green/search/successive_halving.cc.o.d"
+  "libgreen_search.a"
+  "libgreen_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/green/sim/budget_policy.cc" "src/CMakeFiles/green_sim.dir/green/sim/budget_policy.cc.o" "gcc" "src/CMakeFiles/green_sim.dir/green/sim/budget_policy.cc.o.d"
+  "/root/repo/src/green/sim/execution_context.cc" "src/CMakeFiles/green_sim.dir/green/sim/execution_context.cc.o" "gcc" "src/CMakeFiles/green_sim.dir/green/sim/execution_context.cc.o.d"
+  "/root/repo/src/green/sim/task_scheduler.cc" "src/CMakeFiles/green_sim.dir/green/sim/task_scheduler.cc.o" "gcc" "src/CMakeFiles/green_sim.dir/green/sim/task_scheduler.cc.o.d"
+  "/root/repo/src/green/sim/virtual_clock.cc" "src/CMakeFiles/green_sim.dir/green/sim/virtual_clock.cc.o" "gcc" "src/CMakeFiles/green_sim.dir/green/sim/virtual_clock.cc.o.d"
+  "/root/repo/src/green/sim/work_counter.cc" "src/CMakeFiles/green_sim.dir/green/sim/work_counter.cc.o" "gcc" "src/CMakeFiles/green_sim.dir/green/sim/work_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/green_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/green_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

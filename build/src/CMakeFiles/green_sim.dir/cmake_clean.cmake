@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_sim.dir/green/sim/budget_policy.cc.o"
+  "CMakeFiles/green_sim.dir/green/sim/budget_policy.cc.o.d"
+  "CMakeFiles/green_sim.dir/green/sim/execution_context.cc.o"
+  "CMakeFiles/green_sim.dir/green/sim/execution_context.cc.o.d"
+  "CMakeFiles/green_sim.dir/green/sim/task_scheduler.cc.o"
+  "CMakeFiles/green_sim.dir/green/sim/task_scheduler.cc.o.d"
+  "CMakeFiles/green_sim.dir/green/sim/virtual_clock.cc.o"
+  "CMakeFiles/green_sim.dir/green/sim/virtual_clock.cc.o.d"
+  "CMakeFiles/green_sim.dir/green/sim/work_counter.cc.o"
+  "CMakeFiles/green_sim.dir/green/sim/work_counter.cc.o.d"
+  "libgreen_sim.a"
+  "libgreen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/CMakeFiles/green_sim.dir/green/sim/budget_policy.cc.o: \
+ /root/repo/src/green/sim/budget_policy.cc /usr/include/stdc-predef.h \
+ /root/repo/src/green/sim/budget_policy.h

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/green/table/column.cc" "src/CMakeFiles/green_table.dir/green/table/column.cc.o" "gcc" "src/CMakeFiles/green_table.dir/green/table/column.cc.o.d"
+  "/root/repo/src/green/table/csv.cc" "src/CMakeFiles/green_table.dir/green/table/csv.cc.o" "gcc" "src/CMakeFiles/green_table.dir/green/table/csv.cc.o.d"
+  "/root/repo/src/green/table/dataset.cc" "src/CMakeFiles/green_table.dir/green/table/dataset.cc.o" "gcc" "src/CMakeFiles/green_table.dir/green/table/dataset.cc.o.d"
+  "/root/repo/src/green/table/metafeatures.cc" "src/CMakeFiles/green_table.dir/green/table/metafeatures.cc.o" "gcc" "src/CMakeFiles/green_table.dir/green/table/metafeatures.cc.o.d"
+  "/root/repo/src/green/table/split.cc" "src/CMakeFiles/green_table.dir/green/table/split.cc.o" "gcc" "src/CMakeFiles/green_table.dir/green/table/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/green_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

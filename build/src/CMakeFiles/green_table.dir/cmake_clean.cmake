@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_table.dir/green/table/column.cc.o"
+  "CMakeFiles/green_table.dir/green/table/column.cc.o.d"
+  "CMakeFiles/green_table.dir/green/table/csv.cc.o"
+  "CMakeFiles/green_table.dir/green/table/csv.cc.o.d"
+  "CMakeFiles/green_table.dir/green/table/dataset.cc.o"
+  "CMakeFiles/green_table.dir/green/table/dataset.cc.o.d"
+  "CMakeFiles/green_table.dir/green/table/metafeatures.cc.o"
+  "CMakeFiles/green_table.dir/green/table/metafeatures.cc.o.d"
+  "CMakeFiles/green_table.dir/green/table/split.cc.o"
+  "CMakeFiles/green_table.dir/green/table/split.cc.o.d"
+  "libgreen_table.a"
+  "libgreen_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automl_systems_test.dir/automl_systems_test.cc.o"
+  "CMakeFiles/automl_systems_test.dir/automl_systems_test.cc.o.d"
+  "automl_systems_test"
+  "automl_systems_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automl_systems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

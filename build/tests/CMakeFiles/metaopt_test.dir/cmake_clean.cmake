@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_test.dir/metaopt_test.cc.o"
+  "CMakeFiles/metaopt_test.dir/metaopt_test.cc.o.d"
+  "metaopt_test"
+  "metaopt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

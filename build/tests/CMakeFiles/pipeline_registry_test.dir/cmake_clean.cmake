@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_registry_test.dir/pipeline_registry_test.cc.o"
+  "CMakeFiles/pipeline_registry_test.dir/pipeline_registry_test.cc.o.d"
+  "pipeline_registry_test"
+  "pipeline_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
