@@ -5,11 +5,13 @@
 // energy-efficient.
 
 #include <cstdio>
+#include <optional>
 
 #include "green/bench_util/aggregate.h"
 #include "green/bench_util/experiment.h"
 #include "green/bench_util/table_printer.h"
 #include "green/common/stringutil.h"
+#include "green/common/thread_pool.h"
 
 namespace green {
 namespace {
@@ -34,18 +36,26 @@ int Main() {
     for (double budget : budgets) {
       double one_core_kwh = 0.0;
       for (int cores : core_counts) {
+        // Host-parallel over (dataset, repetition): seeds are cell-local,
+        // so slot i is identical whichever worker computes it; aggregation
+        // below walks slots in enumeration order for deterministic stats.
+        const size_t reps = static_cast<size_t>(config.repetitions);
+        const size_t n = runner.suite().size() * reps;
+        std::vector<std::optional<RunRecord>> slots(n);
+        ParallelFor(n, config.jobs, [&](size_t i) {
+          const Dataset& dataset = runner.suite()[i / reps];
+          const int rep = static_cast<int>(i % reps);
+          auto record = runner.RunOne(system, dataset, budget, rep, cores);
+          if (record.ok()) slots[i] = std::move(record).value();
+        });
         std::vector<double> accs;
         std::vector<double> kwhs;
         std::vector<double> secs;
-        for (const Dataset& dataset : runner.suite()) {
-          for (int rep = 0; rep < config.repetitions; ++rep) {
-            auto record =
-                runner.RunOne(system, dataset, budget, rep, cores);
-            if (!record.ok()) continue;
-            accs.push_back(record->test_balanced_accuracy);
-            kwhs.push_back(record->execution_kwh);
-            secs.push_back(record->execution_seconds);
-          }
+        for (const std::optional<RunRecord>& record : slots) {
+          if (!record.has_value()) continue;
+          accs.push_back(record->test_balanced_accuracy);
+          kwhs.push_back(record->execution_kwh);
+          secs.push_back(record->execution_seconds);
         }
         const double kwh = ComputeStats(kwhs).mean;
         if (cores == 1) one_core_kwh = kwh;

@@ -5,7 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "green/automl/caml_system.h"
+#include "green/bench_util/experiment.h"
+#include "green/common/thread_pool.h"
 #include "green/data/synthetic.h"
 #include "green/ml/models/attention_few_shot.h"
 #include "green/ml/models/decision_tree.h"
@@ -148,6 +152,48 @@ void BM_CamlFullRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CamlFullRun);
+
+// Full experiment sweep across host worker threads. The records are
+// bit-identical for every Arg; only the real wall time changes — compare
+// /1 vs /4 for the harness speedup. MeasureProcessCPUTime would hide the
+// win, so the benchmark uses real time. On a single-hardware-thread host
+// the two Args tie (nothing to parallelize onto); the speedup shows on
+// any multi-core machine.
+void BM_ExperimentSweep(benchmark::State& state) {
+  ExperimentConfig config;
+  config.dataset_limit = 4;
+  config.repetitions = 2;
+  config.jobs = static_cast<int>(state.range(0));
+  ExperimentRunner runner(config);
+  for (auto _ : state) {
+    auto records = runner.Sweep({"caml", "flaml"}, {10.0, 30.0});
+    if (!records.ok() || records->empty()) {
+      state.SkipWithError("sweep failed");
+      return;
+    }
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * 2 * 2);  // Cells/run.
+}
+BENCHMARK(BM_ExperimentSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<int> done{0};
+    for (int i = 0; i < 256; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    pool.Wait();
+    benchmark::DoNotOptimize(done.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_EnergyMeterOverhead(benchmark::State& state) {
   Ctx c;

@@ -3,7 +3,7 @@
 // optionally exporting the raw measurement as JSON.
 //
 //   green_automl_cli [--system NAME] [--budget SECONDS] [--csv FILE]
-//                    [--cores N] [--constraint SECONDS_PER_ROW]
+//                    [--cores N] [--jobs N] [--constraint SECONDS_PER_ROW]
 //                    [--json OUT.jsonl]
 //
 //   --system      tabpfn | caml | caml_tuned | flaml | autogluon |
@@ -13,6 +13,8 @@
 //   --csv         dataset in the library's CSV format (last column
 //                 "label"); omitted = a built-in synthetic demo task
 //   --cores       simulated CPU cores (default: 1)
+//   --jobs        host worker threads for harness sweeps; 0 = all
+//                 hardware threads (default: $GREEN_JOBS, else 1)
 //   --constraint  max inference seconds per instance (CAML only)
 //   --json        append the run record to a JSON-lines file
 
@@ -22,6 +24,7 @@
 
 #include "green/bench_util/experiment.h"
 #include "green/bench_util/record_io.h"
+#include "green/common/thread_pool.h"
 #include "green/data/synthetic.h"
 #include "green/energy/co2.h"
 #include "green/table/csv.h"
@@ -35,6 +38,7 @@ int Main(int argc, char** argv) {
   std::string csv_path;
   std::string json_path;
   int cores = 1;
+  int jobs = JobsFromEnv();
   double constraint = 0.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -51,6 +55,9 @@ int Main(int argc, char** argv) {
       json_path = next();
     } else if (std::strcmp(argv[i], "--cores") == 0) {
       cores = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = std::atoi(next());
+      if (jobs <= 0) jobs = ThreadPool::DefaultThreads();
     } else if (std::strcmp(argv[i], "--constraint") == 0) {
       constraint = std::atof(next());
     } else {
@@ -62,6 +69,7 @@ int Main(int argc, char** argv) {
   ExperimentConfig config;
   config.dataset_limit = 1;  // The runner's suite is unused here.
   config.cores = cores;
+  config.jobs = jobs;  // Harness sweep threads (RunOne itself is 1 cell).
   ExperimentRunner runner(config);
 
   Dataset dataset;

@@ -1,7 +1,9 @@
 #include "green/bench_util/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <optional>
 
 #include "green/automl/caml_system.h"
 #include "green/automl/flaml_system.h"
@@ -10,11 +12,23 @@
 #include "green/automl/tabpfn_system.h"
 #include "green/automl/tpot_system.h"
 #include "green/common/logging.h"
+#include "green/common/stringutil.h"
+#include "green/common/thread_pool.h"
 #include "green/data/meta_corpus.h"
 #include "green/ml/metrics.h"
 #include "green/table/split.h"
 
 namespace green {
+
+int JobsFromEnv() {
+  const char* jobs = std::getenv("GREEN_JOBS");
+  if (jobs == nullptr || jobs[0] == '\0') return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(jobs, &end, 10);
+  if (end == jobs) return 1;
+  if (parsed == 0) return ThreadPool::DefaultThreads();
+  return static_cast<int>(std::max(1L, parsed));
+}
 
 ExperimentConfig ExperimentConfig::FromEnv() {
   ExperimentConfig config;
@@ -24,6 +38,7 @@ ExperimentConfig ExperimentConfig::FromEnv() {
     config.dataset_limit = 0;  // All 39 tasks.
     config.repetitions = 10;
   }
+  config.jobs = JobsFromEnv();
   return config;
 }
 
@@ -46,40 +61,86 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config)
   suite_ = std::move(suite).value();
 }
 
-double ExperimentRunner::MinBudget(const std::string& system_name) const {
-  if (system_name == "autosklearn1" || system_name == "autosklearn2") {
-    return 30.0;
+namespace {
+
+/// Constructs a system purely to query its declared properties
+/// (MinBudgetSeconds etc.) — no tuned parameters, no meta-store, and
+/// therefore no side effects. Construction of every system is cheap.
+Result<std::unique_ptr<AutoMlSystem>> MakeProbeSystem(
+    const std::string& system_name) {
+  if (system_name == "tabpfn") {
+    return std::unique_ptr<AutoMlSystem>(new TabPfnSystem());
   }
-  if (system_name == "tpot") return 60.0;
-  return 0.0;
+  if (system_name == "caml") {
+    return std::unique_ptr<AutoMlSystem>(new CamlSystem());
+  }
+  if (system_name == "caml_tuned") {
+    return std::unique_ptr<AutoMlSystem>(
+        new CamlSystem(CamlParams(), "caml_tuned"));
+  }
+  if (system_name == "flaml") {
+    return std::unique_ptr<AutoMlSystem>(new FlamlSystem());
+  }
+  if (system_name == "autogluon" || system_name == "autogluon_refit") {
+    return std::unique_ptr<AutoMlSystem>(new GluonSystem());
+  }
+  if (system_name == "autosklearn1" || system_name == "autosklearn2") {
+    AsklParams params;
+    params.warm_start = system_name == "autosklearn2";
+    return std::unique_ptr<AutoMlSystem>(
+        new AsklSystem(params, /*meta_store=*/nullptr));
+  }
+  if (system_name == "tpot") {
+    return std::unique_ptr<AutoMlSystem>(new TpotSystem());
+  }
+  if (system_name == "random_search") {
+    return std::unique_ptr<AutoMlSystem>(new RandomSearchSystem());
+  }
+  return Status::NotFound("unknown system: " + system_name);
+}
+
+}  // namespace
+
+double ExperimentRunner::MinBudget(const std::string& system_name) const {
+  // Single source of truth: the system's own declaration, so harness
+  // gating can never drift from AutoMlSystem::MinBudgetSeconds().
+  auto probe = MakeProbeSystem(system_name);
+  if (!probe.ok()) return 0.0;  // RunOne reports the NotFound per cell.
+  return (*probe)->MinBudgetSeconds();
 }
 
 Status ExperimentRunner::EnsureMetaStore() {
-  if (meta_store_ != nullptr) return Status::Ok();
   // ASKL2's warm start is meta-learned on a repository of pre-searched
   // datasets; the cost is charged to the development stage (the paper:
-  // 140 datasets x 24 h of offline search).
-  MetaCorpusOptions corpus_options;
-  corpus_options.num_datasets = 16;
-  corpus_options.seed = HashCombine(config_.seed, 0x5743);
-  GREEN_ASSIGN_OR_RETURN(
-      std::vector<Dataset> corpus,
-      GenerateMetaCorpus(corpus_options, config_.profile));
+  // 140 datasets x 24 h of offline search). Built exactly once even when
+  // many sweep workers hit ASKL cells concurrently: call_once blocks the
+  // others until the store (and its development-energy charge) is ready.
+  std::call_once(meta_once_, [this] {
+    meta_status_ = [this]() -> Status {
+      MetaCorpusOptions corpus_options;
+      corpus_options.num_datasets = 16;
+      corpus_options.seed = HashCombine(config_.seed, 0x5743);
+      GREEN_ASSIGN_OR_RETURN(
+          std::vector<Dataset> corpus,
+          GenerateMetaCorpus(corpus_options, config_.profile));
 
-  VirtualClock clock;
-  ExecutionContext ctx(&clock, &energy_model_, config_.cores);
-  EnergyMeter meter(&energy_model_);
-  meter.Start(clock.Now());
-  ctx.SetMeter(&meter);
-  GREEN_ASSIGN_OR_RETURN(
-      AsklMetaStore store,
-      AsklMetaStore::BuildFromCorpus(corpus, /*evals_per_dataset=*/6,
-                                     HashCombine(config_.seed, 0x5744),
-                                     &ctx));
-  const EnergyReading reading = meter.Stop(clock.Now());
-  development_kwh_ += reading.kwh() / config_.budget_scale;
-  meta_store_ = std::make_unique<AsklMetaStore>(std::move(store));
-  return Status::Ok();
+      VirtualClock clock;
+      ExecutionContext ctx(&clock, &energy_model_, config_.cores);
+      EnergyMeter meter(&energy_model_);
+      meter.Start(clock.Now());
+      ctx.SetMeter(&meter);
+      GREEN_ASSIGN_OR_RETURN(
+          AsklMetaStore store,
+          AsklMetaStore::BuildFromCorpus(corpus, /*evals_per_dataset=*/6,
+                                         HashCombine(config_.seed, 0x5744),
+                                         &ctx));
+      const EnergyReading reading = meter.Stop(clock.Now());
+      development_kwh_.fetch_add(reading.kwh() / config_.budget_scale);
+      meta_store_ = std::make_unique<AsklMetaStore>(std::move(store));
+      return Status::Ok();
+    }();
+  });
+  return meta_status_;
 }
 
 Result<std::unique_ptr<AutoMlSystem>> ExperimentRunner::MakeSystem(
@@ -186,24 +247,64 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
 Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
     const std::vector<std::string>& systems,
     const std::vector<double>& paper_budgets) {
-  std::vector<RunRecord> records;
+  // Enumerate every cell up front in the canonical (system, budget,
+  // dataset, repetition) order. Run seeds depend only on the cell, never
+  // on execution order, so the parallel path below is bit-identical to
+  // running this list sequentially.
+  struct Cell {
+    const std::string* system;
+    double budget;
+    const Dataset* dataset;
+    int rep;
+  };
+  std::vector<Cell> cells;
   for (const std::string& system : systems) {
     for (double budget : paper_budgets) {
       if (budget < MinBudget(system)) continue;
       for (const Dataset& dataset : suite_) {
         for (int rep = 0; rep < config_.repetitions; ++rep) {
-          auto record = RunOne(system, dataset, budget, rep);
-          if (!record.ok()) {
-            LogWarning("run failed: " + system + " on " + dataset.name() +
-                       ": " + record.status().ToString());
-            continue;
-          }
-          records.push_back(std::move(record).value());
+          cells.push_back(Cell{&system, budget, &dataset, rep});
         }
       }
       // TabPFN has no search-time parameter: one budget point suffices.
       if (system == "tabpfn") break;
     }
+  }
+
+  const int jobs =
+      std::min<int>(std::max(1, config_.jobs),
+                    static_cast<int>(std::max<size_t>(1, cells.size())));
+  std::vector<std::optional<Result<RunRecord>>> slots(cells.size());
+  const auto start = std::chrono::steady_clock::now();
+  ParallelFor(cells.size(), jobs, [&](size_t i) {
+    const Cell& cell = cells[i];
+    slots[i].emplace(
+        RunOne(*cell.system, *cell.dataset, cell.budget, cell.rep));
+  });
+  last_sweep_wall_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  LogInfo(StrFormat(
+      "sweep: %zu cells on %d worker thread(s) in %.2fs wall (%.1f "
+      "cells/s)",
+      cells.size(), jobs, last_sweep_wall_seconds_,
+      last_sweep_wall_seconds_ > 0.0
+          ? static_cast<double>(cells.size()) / last_sweep_wall_seconds_
+          : 0.0));
+
+  // Collect in enumeration order, independent of completion order.
+  std::vector<RunRecord> records;
+  records.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    Result<RunRecord>& record = *slots[i];
+    if (!record.ok()) {
+      LogWarning("run failed: " + *cells[i].system + " on " +
+                 cells[i].dataset->name() + ": " +
+                 record.status().ToString());
+      continue;
+    }
+    records.push_back(std::move(record).value());
   }
   return records;
 }

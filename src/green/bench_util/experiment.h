@@ -1,7 +1,9 @@
 #ifndef GREEN_BENCH_UTIL_EXPERIMENT_H_
 #define GREEN_BENCH_UTIL_EXPERIMENT_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,11 +31,19 @@ struct ExperimentConfig {
   uint64_t seed = 42;
   MachineModel machine = MachineModel::XeonGold6132();
   int cores = 1;
+  /// Host worker threads for Sweep (NOT the simulated `cores`): cells run
+  /// concurrently on `jobs` threads, results stay in enumeration order.
+  int jobs = 1;
 
   /// Reads GREEN_FULL to decide between the fast subset and the full
-  /// 39-task x 10-repetition configuration.
+  /// 39-task x 10-repetition configuration, and GREEN_JOBS for the
+  /// number of sweep worker threads (0 = all hardware threads).
   static ExperimentConfig FromEnv();
 };
+
+/// Parses GREEN_JOBS: unset/invalid = 1, 0 = hardware concurrency,
+/// otherwise the given worker count (clamped to >= 1).
+int JobsFromEnv();
 
 /// One (system, dataset, budget, repetition) measurement.
 struct RunRecord {
@@ -60,6 +70,12 @@ const std::vector<std::string>& AllSystemNames();
 /// Runs paper experiments: constructs systems by name, instantiates AMLB
 /// tasks, meters execution and inference separately, scales readings back
 /// to paper scale.
+///
+/// Thread safety: RunOne is safe to call concurrently from multiple
+/// threads (Sweep does so when config.jobs > 1). Every run gets its own
+/// clock/context/meter; the shared EnergyModel and TunedConfigStore are
+/// strictly read-only, the ASKL meta-store is built exactly once behind
+/// std::call_once, and the development-energy accumulator is atomic.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(const ExperimentConfig& config);
@@ -74,19 +90,31 @@ class ExperimentRunner {
                            int repetition, int cores = 0);
 
   /// Full sweep over the suite for the given systems and budgets.
+  /// With config.jobs > 1 the cells execute on that many host worker
+  /// threads; run seeds are order-independent, so the records are
+  /// bit-identical to the sequential sweep and always emitted in
+  /// enumeration order (system, budget, dataset, repetition).
   Result<std::vector<RunRecord>> Sweep(
       const std::vector<std::string>& systems,
       const std::vector<double>& paper_budgets);
 
-  /// Per-system minimum supported paper budget (30 s for ASKL, 60 s for
-  /// TPOT) — used to skip unsupported points like the paper does.
+  /// Minimum supported paper budget, as declared by the system itself
+  /// (AutoMlSystem::MinBudgetSeconds: 30 s for ASKL, 60 s for TPOT) —
+  /// used to skip unsupported points like the paper does. Unknown
+  /// systems report 0 (the sweep surfaces the NotFound per cell).
   double MinBudget(const std::string& system_name) const;
 
   const ExperimentConfig& config() const { return config_; }
 
   /// Development-stage energy spent inside this runner so far (meta-store
   /// construction for autosklearn2), at paper scale.
-  double development_kwh() const { return development_kwh_; }
+  double development_kwh() const { return development_kwh_.load(); }
+
+  /// Real (host) wall-clock seconds of the most recent Sweep, for
+  /// reporting parallel speedup. 0 before the first sweep.
+  double last_sweep_wall_seconds() const {
+    return last_sweep_wall_seconds_;
+  }
 
   /// Builds a system instance; `budget` selects CAML(tuned) parameters.
   Result<std::unique_ptr<AutoMlSystem>> MakeSystem(
@@ -99,8 +127,11 @@ class ExperimentRunner {
   EnergyModel energy_model_;
   std::vector<Dataset> suite_;
   TunedConfigStore tuned_store_;
+  std::once_flag meta_once_;
+  Status meta_status_;
   std::unique_ptr<AsklMetaStore> meta_store_;
-  double development_kwh_ = 0.0;
+  std::atomic<double> development_kwh_{0.0};
+  double last_sweep_wall_seconds_ = 0.0;
 };
 
 }  // namespace green

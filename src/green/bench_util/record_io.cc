@@ -9,11 +9,13 @@ namespace green {
 
 namespace {
 
-/// Minimal JSON string escaping for our field values (names contain only
-/// dataset identifiers; still escape defensively).
+/// JSON string escaping for our field values. Every control character is
+/// escaped (RFC 8259 requires it — a raw \t or \r in a dataset name would
+/// emit invalid JSON); Unescape below inverts this exactly.
 std::string Escape(const std::string& s) {
   std::string out;
-  for (char c : s) {
+  for (char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
     switch (c) {
       case '"':
         out += "\\\"";
@@ -24,8 +26,24 @@ std::string Escape(const std::string& s) {
       case '\n':
         out += "\\n";
         break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
-        out += c;
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += ch;
+        }
     }
   }
   return out;
@@ -44,12 +62,43 @@ Result<std::string> ExtractField(const std::string& line,
   while (start < line.size() && line[start] == ' ') ++start;
   if (start >= line.size()) return Status::NotFound("truncated: " + key);
   if (line[start] == '"') {
-    // String value: scan to the closing unescaped quote.
+    // String value: scan to the closing unescaped quote, inverting every
+    // sequence Escape emits.
     std::string out;
     for (size_t i = start + 1; i < line.size(); ++i) {
       if (line[i] == '\\' && i + 1 < line.size()) {
         const char c = line[++i];
-        out += c == 'n' ? '\n' : c;  // \" and \\ pass through as-is.
+        switch (c) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (i + 4 >= line.size()) {
+              return Status::InvalidArgument("truncated \\u escape: " +
+                                             key);
+            }
+            const unsigned long code =
+                std::strtoul(line.substr(i + 1, 4).c_str(), nullptr, 16);
+            // Escape only emits \u00XX for control bytes.
+            out += static_cast<char>(code & 0xFF);
+            i += 4;
+            break;
+          }
+          default:
+            out += c;  // \" \\ and \/ pass through.
+        }
       } else if (line[i] == '"') {
         return out;
       } else {

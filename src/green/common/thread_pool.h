@@ -1,0 +1,64 @@
+#ifndef GREEN_COMMON_THREAD_POOL_H_
+#define GREEN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace green {
+
+/// Fixed-size worker pool over a shared FIFO task queue. Idle workers pull
+/// the next task as soon as they finish — dynamic load balancing without
+/// per-worker queues, which is all the harness needs (tasks are coarse:
+/// one full AutoML run each). The pool is the host-side counterpart of the
+/// simulated TaskGraphScheduler: the scheduler models parallel phases
+/// inside the virtual machine, the pool parallelizes real sweep cells
+/// across real cores.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains nothing: pending tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (the library never throws).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for every i in [0, n) on up to `jobs` workers. Indices are
+/// claimed dynamically (one task per index), so uneven cell durations
+/// balance themselves. jobs <= 1 (or n <= 1) runs inline on the calling
+/// thread — byte-identical behavior to a plain loop, no threads spawned.
+/// `fn` must be safe to invoke concurrently for distinct indices.
+void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn);
+
+}  // namespace green
+
+#endif  // GREEN_COMMON_THREAD_POOL_H_

@@ -48,6 +48,12 @@ Result<PowercapReader> PowercapReader::Discover(const std::string& root) {
     Zone z;
     z.name = std::string(Trim(name.value()));
     z.energy_path = energy_path;
+    // The counter wraps at max_energy_range_uj; keep it for delta
+    // correction. Unreadable range (rare) => 0 = no correction.
+    auto range = ReadSmallFile(dir_path + "/max_energy_range_uj");
+    if (range.ok()) {
+      z.max_energy_range_uj = std::strtod(range.value().c_str(), nullptr);
+    }
     zones.push_back(std::move(z));
   }
   closedir(dir);
@@ -74,6 +80,43 @@ Result<double> PowercapReader::ReadTotalJoules() const {
     total += j;
   }
   return total;
+}
+
+double PowercapReader::WrapCorrectedDeltaUj(double prev_uj, double cur_uj,
+                                            double max_range_uj) {
+  double delta = cur_uj - prev_uj;
+  if (delta < 0.0 && max_range_uj > 0.0) delta += max_range_uj;
+  // Still negative: unknown range or a counter reset — clamp rather
+  // than report negative energy.
+  return delta < 0.0 ? 0.0 : delta;
+}
+
+Status PowercapReader::BeginInterval() {
+  std::vector<double> baseline;
+  baseline.reserve(zones_.size());
+  for (size_t i = 0; i < zones_.size(); ++i) {
+    GREEN_ASSIGN_OR_RETURN(std::string raw,
+                           ReadSmallFile(zones_[i].energy_path));
+    baseline.push_back(std::strtod(raw.c_str(), nullptr));
+  }
+  interval_baseline_uj_ = std::move(baseline);
+  return Status::Ok();
+}
+
+Result<double> PowercapReader::IntervalJoules() const {
+  if (interval_baseline_uj_.size() != zones_.size()) {
+    return Status::FailedPrecondition(
+        "IntervalJoules without a matching BeginInterval");
+  }
+  double total_uj = 0.0;
+  for (size_t i = 0; i < zones_.size(); ++i) {
+    GREEN_ASSIGN_OR_RETURN(std::string raw,
+                           ReadSmallFile(zones_[i].energy_path));
+    const double cur_uj = std::strtod(raw.c_str(), nullptr);
+    total_uj += WrapCorrectedDeltaUj(interval_baseline_uj_[i], cur_uj,
+                                     zones_[i].max_energy_range_uj);
+  }
+  return total_uj * 1e-6;
 }
 
 }  // namespace green

@@ -20,6 +20,9 @@ class PowercapReader {
   struct Zone {
     std::string name;         ///< e.g. "package-0", "dram".
     std::string energy_path;  ///< sysfs file with cumulative microjoules.
+    /// Wrap point of the cumulative counter (max_energy_range_uj);
+    /// 0 when the range file is unreadable (no wrap correction possible).
+    double max_energy_range_uj = 0.0;
   };
 
   /// Scans `root` for RAPL zones. Default root is the live sysfs tree.
@@ -28,17 +31,37 @@ class PowercapReader {
 
   const std::vector<Zone>& zones() const { return zones_; }
 
-  /// Cumulative energy of one zone in Joules.
+  /// Cumulative energy of one zone in Joules (raw counter: wraps at
+  /// max_energy_range_uj — use the interval API for deltas).
   Result<double> ReadZoneJoules(size_t zone_index) const;
 
-  /// Sum over all discovered zones, in Joules.
+  /// Sum over all discovered zones, in Joules. Raw counters, see above.
   Result<double> ReadTotalJoules() const;
+
+  /// Snapshots every zone counter, delimiting a measurement interval.
+  Status BeginInterval();
+
+  /// Wrap-corrected Joules consumed across all zones since the last
+  /// BeginInterval. RAPL counters wrap at max_energy_range_uj (every few
+  /// minutes under load on some packages); a raw delta across a wrap
+  /// goes negative, so each zone delta is corrected by its range. A
+  /// counter wrapping more than once per interval is undetectable —
+  /// callers should sample at least every few minutes.
+  Result<double> IntervalJoules() const;
+
+  /// Delta between two cumulative microjoule readings of a counter that
+  /// wraps at `max_range_uj`: adds one wrap when cur < prev. With an
+  /// unknown range (0), a negative delta clamps to 0 instead of
+  /// reporting negative energy. Exposed for tests.
+  static double WrapCorrectedDeltaUj(double prev_uj, double cur_uj,
+                                     double max_range_uj);
 
  private:
   explicit PowercapReader(std::vector<Zone> zones)
       : zones_(std::move(zones)) {}
 
   std::vector<Zone> zones_;
+  std::vector<double> interval_baseline_uj_;  ///< Set by BeginInterval.
 };
 
 }  // namespace green

@@ -2,6 +2,7 @@
 
 #include "green/bench_util/aggregate.h"
 #include "green/bench_util/experiment.h"
+#include "green/bench_util/record_io.h"
 #include "green/bench_util/table_printer.h"
 
 namespace green {
@@ -188,6 +189,70 @@ TEST_F(RunnerTest, Askl2BuildsMetaStoreAndChargesDevelopment) {
   auto record = runner.RunOne("autosklearn2", runner.suite()[0], 30.0, 0);
   ASSERT_TRUE(record.ok());
   EXPECT_GT(runner.development_kwh(), 0.0);
+}
+
+TEST_F(RunnerTest, ParallelSweepBitIdenticalToSequential) {
+  ExperimentConfig config = SmallConfig();
+  config.repetitions = 2;
+  ExperimentRunner sequential(config);
+  auto seq = sequential.Sweep({"caml", "flaml"}, {10.0, 30.0});
+  ASSERT_TRUE(seq.ok());
+  ASSERT_FALSE(seq->empty());
+
+  config.jobs = 4;
+  ExperimentRunner parallel(config);
+  auto par = parallel.Sweep({"caml", "flaml"}, {10.0, 30.0});
+  ASSERT_TRUE(par.ok());
+
+  // Same cells, same order, byte-identical serialized records: run seeds
+  // are cell-local, so worker interleaving must not leak into results.
+  ASSERT_EQ(seq->size(), par->size());
+  for (size_t i = 0; i < seq->size(); ++i) {
+    EXPECT_EQ(RecordToJson((*seq)[i]), RecordToJson((*par)[i])) << i;
+  }
+}
+
+TEST_F(RunnerTest, ParallelSweepBuildsMetaStoreExactlyOnce) {
+  ExperimentConfig config = SmallConfig();
+  config.jobs = 4;
+  ExperimentRunner runner(config);
+  // Several concurrent ASKL cells race to EnsureMetaStore; call_once
+  // must charge development energy a single time.
+  auto records = runner.Sweep({"autosklearn2"}, {30.0});
+  ASSERT_TRUE(records.ok());
+  ASSERT_FALSE(records->empty());
+  const double dev_kwh = runner.development_kwh();
+  EXPECT_GT(dev_kwh, 0.0);
+
+  ExperimentRunner once(SmallConfig());
+  ASSERT_TRUE(once.RunOne("autosklearn2", once.suite()[0], 30.0, 0).ok());
+  EXPECT_DOUBLE_EQ(dev_kwh, once.development_kwh());
+}
+
+TEST_F(RunnerTest, SweepReportsWallClock) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 1;
+  ExperimentRunner runner(config);
+  EXPECT_EQ(runner.last_sweep_wall_seconds(), 0.0);
+  ASSERT_TRUE(runner.Sweep({"caml"}, {10.0}).ok());
+  EXPECT_GT(runner.last_sweep_wall_seconds(), 0.0);
+}
+
+TEST_F(RunnerTest, MinBudgetTracksSystemDeclaration) {
+  ExperimentRunner runner(SmallConfig());
+  // The harness gate must agree with each system's own declaration —
+  // the values can never drift apart again.
+  for (const std::string& name : AllSystemNames()) {
+    auto probe = runner.MakeSystem(name, 60.0);
+    ASSERT_TRUE(probe.ok()) << name;
+    EXPECT_EQ(runner.MinBudget(name), (*probe)->MinBudgetSeconds())
+        << name;
+  }
+  EXPECT_EQ(runner.MinBudget("nonexistent"), 0.0);
+}
+
+TEST_F(RunnerTest, JobsFromEnvParsing) {
+  EXPECT_GE(JobsFromEnv(), 1);  // Whatever the environment, never < 1.
 }
 
 TEST_F(RunnerTest, ConfigFromEnvDefaultsToFast) {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
 
 #include "green/energy/co2.h"
 #include "green/energy/energy_meter.h"
@@ -255,6 +259,77 @@ TEST(PowercapTest, MissingRootIsNotFound) {
   auto reader = PowercapReader::Discover("/nonexistent/powercap");
   ASSERT_FALSE(reader.ok());
   EXPECT_EQ(reader.status().code(), Status::Code::kNotFound);
+}
+
+TEST(PowercapTest, WrapCorrectedDelta) {
+  // Plain forward delta.
+  EXPECT_DOUBLE_EQ(
+      PowercapReader::WrapCorrectedDeltaUj(1000.0, 1500.0, 262144.0),
+      500.0);
+  // Counter wrapped: delta spans the wrap point.
+  EXPECT_DOUBLE_EQ(
+      PowercapReader::WrapCorrectedDeltaUj(262000.0, 1000.0, 262144.0),
+      1144.0);
+  // Unknown range: clamp to zero instead of reporting negative energy.
+  EXPECT_DOUBLE_EQ(PowercapReader::WrapCorrectedDeltaUj(5000.0, 100.0, 0.0),
+                   0.0);
+  // Zero-length interval.
+  EXPECT_DOUBLE_EQ(
+      PowercapReader::WrapCorrectedDeltaUj(42.0, 42.0, 262144.0), 0.0);
+}
+
+// Fake sysfs tree exercising Discover + the wrap-corrected interval API.
+class PowercapFakeSysfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/powercap_fake";
+    zone_ = root_ + "/intel-rapl:0";
+    ASSERT_EQ(mkdir(root_.c_str(), 0755) == 0 || errno == EEXIST, true);
+    ASSERT_EQ(mkdir(zone_.c_str(), 0755) == 0 || errno == EEXIST, true);
+    WriteFile(zone_ + "/name", "package-0\n");
+    WriteFile(zone_ + "/max_energy_range_uj", "2000000\n");
+    WriteFile(zone_ + "/energy_uj", "1000000\n");
+  }
+
+  static void WriteFile(const std::string& path,
+                        const std::string& content) {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr) << path;
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  }
+
+  std::string root_;
+  std::string zone_;
+};
+
+TEST_F(PowercapFakeSysfsTest, DiscoverReadsZoneAndRange) {
+  auto reader = PowercapReader::Discover(root_);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->zones().size(), 1u);
+  EXPECT_EQ(reader->zones()[0].name, "package-0");
+  EXPECT_DOUBLE_EQ(reader->zones()[0].max_energy_range_uj, 2000000.0);
+  auto joules = reader->ReadZoneJoules(0);
+  ASSERT_TRUE(joules.ok());
+  EXPECT_DOUBLE_EQ(*joules, 1.0);  // 1e6 uJ.
+}
+
+TEST_F(PowercapFakeSysfsTest, IntervalAcrossWrapStaysPositive) {
+  auto reader = PowercapReader::Discover(root_);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader->BeginInterval().ok());
+  // Counter wraps at 2e6 uJ: 1e6 -> (2e6) -> 0 -> 5e5. True consumption
+  // is 1.5e6 uJ = 1.5 J; a naive delta would be -0.5 J.
+  WriteFile(zone_ + "/energy_uj", "500000\n");
+  auto delta = reader->IntervalJoules();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_DOUBLE_EQ(*delta, 1.5);
+}
+
+TEST_F(PowercapFakeSysfsTest, IntervalWithoutBeginFails) {
+  auto reader = PowercapReader::Discover(root_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->IntervalJoules().ok());
 }
 
 // --- CO2 ---

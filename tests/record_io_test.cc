@@ -48,6 +48,55 @@ TEST(RecordIoTest, JsonEscapesSpecialCharacters) {
   EXPECT_EQ(parsed->dataset, r.dataset);
 }
 
+TEST(RecordIoTest, HostileNamesRoundTripAndStayValidJson) {
+  // Control characters that the old escaper passed through raw, which
+  // produced invalid JSON: \t, \r, \b, \f, and arbitrary control bytes.
+  const std::vector<std::string> hostile = {
+      "tab\there",
+      "cr\rlf\n",
+      "bell\x07squash\x01\x02",
+      "quote\"back\\slash",
+      "mix\t\"\\\r\n\f\b\x1f",
+      "trailing-backslash\\",
+  };
+  for (const std::string& name : hostile) {
+    RunRecord r = SampleRecord();
+    r.dataset = name;
+    r.system = name;
+    const std::string json = RecordToJson(r);
+    // Valid JSON strings contain no raw control characters.
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : json) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20) << "raw control char";
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = !in_string;
+      }
+    }
+    EXPECT_FALSE(in_string) << "unbalanced quotes: " << json;
+    auto parsed = RecordFromJson(json);
+    ASSERT_TRUE(parsed.ok()) << json;
+    EXPECT_EQ(parsed->dataset, name);
+    EXPECT_EQ(parsed->system, name);
+  }
+}
+
+TEST(RecordIoTest, HostileNamesSurviveJsonlFile) {
+  std::vector<RunRecord> records = {SampleRecord()};
+  records[0].dataset = "line\nbreak\tand\rreturn";
+  const std::string path =
+      ::testing::TempDir() + "/green_records_hostile.jsonl";
+  ASSERT_TRUE(WriteRecordsJsonl(records, path).ok());
+  auto loaded = ReadRecordsJsonl(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);  // \n stayed escaped: still one line.
+  EXPECT_EQ((*loaded)[0].dataset, records[0].dataset);
+}
+
 TEST(RecordIoTest, RejectsMalformedJson) {
   EXPECT_FALSE(RecordFromJson("{}").ok());
   EXPECT_FALSE(RecordFromJson("not json at all").ok());

@@ -133,6 +133,34 @@ TEST(SchedulerTest, LongestTaskBoundsMakespan) {
   EXPECT_LT(s.utilization, 1.0);
 }
 
+TEST(SchedulerTest, MoreCoresThanTasks) {
+  // Extra cores stay idle; makespan is the longest task and busy time is
+  // the plain sum.
+  const auto s = TaskGraphScheduler::ScheduleBatch({5.0, 3.0}, 8);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(s.busy_core_seconds, 8.0);
+  EXPECT_DOUBLE_EQ(s.utilization, 8.0 / (5.0 * 8.0));
+}
+
+TEST(SchedulerTest, ZeroLengthTasksContributeNothing) {
+  const auto s = TaskGraphScheduler::ScheduleBatch({0.0, 4.0, 0.0, 2.0}, 2);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(s.busy_core_seconds, 6.0);
+}
+
+TEST(SchedulerTest, AllZeroLengthTasksNoDivisionByZero) {
+  const auto s = TaskGraphScheduler::ScheduleBatch({0.0, 0.0, 0.0}, 4);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.busy_core_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.utilization, 0.0);  // Guarded, not NaN.
+}
+
+TEST(SchedulerTest, SingleTaskManyCores) {
+  const auto s = TaskGraphScheduler::ScheduleBatch({7.5}, 16);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 7.5);
+  EXPECT_DOUBLE_EQ(s.utilization, 1.0 / 16.0);
+}
+
 TEST(SchedulerTest, LptSpreadsLongTasks) {
   // LPT puts the two long tasks on different cores. The classic
   // worst-case instance: LPT yields 7 while the optimum is 6 (LPT is a

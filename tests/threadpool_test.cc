@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "green/common/thread_pool.h"
+
+namespace green {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  std::atomic<int> done{0};
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithoutTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not deadlock.
+  std::atomic<int> done{0};
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  pool.Wait();  // Idempotent.
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorCompletesPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        done.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(std::this_thread::get_id());
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 200);
+  // 200 x 100us of sleeping across 4 workers: more than one thread must
+  // have participated.
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitFromMultipleThreads) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &done] {
+      for (int i = 0; i < 100; ++i) {
+        pool.Submit([&done] { done.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(done.load(), 400);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(333);
+  ParallelFor(hits.size(), 4,
+              [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleJobRunsInlineInOrder) {
+  std::vector<size_t> order;
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  ParallelFor(16, 1, [&](size_t i) {
+    order.push_back(i);
+    all_on_caller &= std::this_thread::get_id() == caller;
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  EXPECT_TRUE(all_on_caller);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  int calls = 0;
+  ParallelFor(0, 8, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, MoreJobsThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(hits.size(), 64,
+              [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace green
