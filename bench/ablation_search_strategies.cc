@@ -22,12 +22,13 @@ int Main() {
 
   const std::vector<std::string> systems = {"random_search", "caml",
                                             "caml_tuned"};
-  auto records = runner.Sweep(systems, {10.0, 30.0, 60.0, 300.0});
-  if (!records.ok()) {
+  auto sweep = runner.Sweep(systems, {10.0, 30.0, 60.0, 300.0});
+  if (!sweep.ok()) {
     std::fprintf(stderr, "sweep failed: %s\n",
-                 records.status().ToString().c_str());
+                 sweep.status().ToString().c_str());
     return 1;
   }
+  const std::vector<RunRecord> records = OkOnly(*sweep);
 
   PrintBanner(
       "Ablation A3: search strategy value at equal budget "
@@ -36,7 +37,7 @@ int Main() {
                       "exec kWh", "pipelines evaluated"});
   for (double budget : {10.0, 30.0, 60.0, 300.0}) {
     for (const std::string& system : systems) {
-      const auto cell = Filter(*records, system, budget);
+      const auto cell = Filter(records, system, budget);
       if (cell.empty()) continue;
       const Stats acc = BootstrapAcrossDatasets(
           cell,

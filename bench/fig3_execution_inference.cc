@@ -19,20 +19,28 @@ int Main() {
   const std::vector<std::string> systems = {
       "tabpfn",       "caml",  "flaml",        "autogluon",
       "autosklearn1", "autosklearn2", "tpot"};
-  auto records = runner.Sweep(systems, config.paper_budgets);
-  if (!records.ok()) {
+  auto sweep = runner.Sweep(systems, config.paper_budgets);
+  if (!sweep.ok()) {
     std::fprintf(stderr, "sweep failed: %s\n",
-                 records.status().ToString().c_str());
+                 sweep.status().ToString().c_str());
     return 1;
+  }
+  // Aggregate over measured cells only; failures are reported below.
+  const std::vector<RunRecord> records = OkOnly(*sweep);
+
+  const std::string failures = RenderFailureSummary(*sweep);
+  if (!failures.empty()) {
+    PrintBanner("Non-ok cells (excluded from the charts)");
+    std::printf("%s", failures.c_str());
   }
 
   PrintBanner(
       "Figure 3 (left): execution — balanced accuracy vs energy (kWh)");
   TablePrinter exec_table({"system", "budget", "bal.acc (mean±std)",
                            "exec kWh", "exec seconds"});
-  for (const std::string& system : DistinctSystems(*records)) {
-    for (double budget : DistinctBudgets(*records, system)) {
-      const auto cell = Filter(*records, system, budget);
+  for (const std::string& system : DistinctSystems(records)) {
+    for (double budget : DistinctBudgets(records, system)) {
+      const auto cell = Filter(records, system, budget);
       const Stats acc = BootstrapAcrossDatasets(
           cell,
           [](const RunRecord& r) { return r.test_balanced_accuracy; },
@@ -56,9 +64,9 @@ int Main() {
       "(kWh per predicted instance)");
   TablePrinter infer_table(
       {"system", "budget", "bal.acc", "inference kWh/instance"});
-  for (const std::string& system : DistinctSystems(*records)) {
-    for (double budget : DistinctBudgets(*records, system)) {
-      const auto cell = Filter(*records, system, budget);
+  for (const std::string& system : DistinctSystems(records)) {
+    for (double budget : DistinctBudgets(records, system)) {
+      const auto cell = Filter(records, system, budget);
       const Stats acc = BootstrapAcrossDatasets(
           cell,
           [](const RunRecord& r) { return r.test_balanced_accuracy; },
@@ -81,7 +89,7 @@ int Main() {
   TablePrinter std_table({"system", "kWh std across datasets"});
   for (const std::string& system : {"caml", "autogluon"}) {
     std::vector<double> per_dataset;
-    for (const RunRecord& r : Filter(*records, system, 300.0)) {
+    for (const RunRecord& r : Filter(records, system, 300.0)) {
       per_dataset.push_back(r.execution_kwh);
     }
     std_table.AddRow({system,

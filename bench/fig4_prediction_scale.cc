@@ -27,19 +27,20 @@ int Main() {
   // the searchers (a good accuracy/energy point) and TabPFN's single dot.
   const std::vector<std::string> systems = {"tabpfn", "caml", "flaml",
                                             "autogluon", "autosklearn1"};
-  auto records = runner.Sweep(systems, {60.0});
-  if (!records.ok()) {
+  auto sweep = runner.Sweep(systems, {60.0});
+  if (!sweep.ok()) {
     std::fprintf(stderr, "sweep failed: %s\n",
-                 records.status().ToString().c_str());
+                 sweep.status().ToString().c_str());
     return 1;
   }
+  const std::vector<RunRecord> records = OkOnly(*sweep);
 
   std::vector<SystemCost> costs;
-  for (const std::string& system : DistinctSystems(*records)) {
+  for (const std::string& system : DistinctSystems(records)) {
     SystemCost cost;
     cost.system = system;
-    const double budget = DistinctBudgets(*records, system).front();
-    const auto cell = Filter(*records, system, budget);
+    const double budget = DistinctBudgets(records, system).front();
+    const auto cell = Filter(records, system, budget);
     cost.execution_kwh =
         BootstrapAcrossDatasets(
             cell, [](const RunRecord& r) { return r.execution_kwh; },

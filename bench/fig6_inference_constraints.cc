@@ -92,6 +92,20 @@ int Main() {
 
   PrintBanner(
       "Figure 6 (AutoGluon): deployment-optimized refit configuration");
+  // Both AutoGluon modes go through Sweep: parallel workers, retry/
+  // taxonomy, and journaling all apply. (The CAML half above cannot —
+  // it varies max_inference_seconds_per_row, which is not a sweep axis.)
+  auto gluon_sweep =
+      runner.Sweep({"autogluon", "autogluon_refit"}, budgets);
+  if (!gluon_sweep.ok()) {
+    std::fprintf(stderr, "autogluon sweep failed: %s\n",
+                 gluon_sweep.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<RunRecord> gluon_records = OkOnly(*gluon_sweep);
+  const std::string failures = RenderFailureSummary(*gluon_sweep);
+  if (!failures.empty()) std::printf("%s", failures.c_str());
+
   TablePrinter gluon_table({"budget", "mode", "bal.acc",
                             "inference kWh/inst", "saving vs default"});
   for (double budget : budgets) {
@@ -99,13 +113,9 @@ int Main() {
     for (const std::string& mode : {"autogluon", "autogluon_refit"}) {
       std::vector<double> accs;
       std::vector<double> kwhs;
-      for (const Dataset& dataset : runner.suite()) {
-        for (int rep = 0; rep < config.repetitions; ++rep) {
-          auto record = runner.RunOne(mode, dataset, budget, rep);
-          if (!record.ok()) continue;
-          accs.push_back(record->test_balanced_accuracy);
-          kwhs.push_back(record->inference_kwh_per_instance);
-        }
+      for (const RunRecord& record : Filter(gluon_records, mode, budget)) {
+        accs.push_back(record.test_balanced_accuracy);
+        kwhs.push_back(record.inference_kwh_per_instance);
       }
       const double kwh = ComputeStats(kwhs).mean;
       if (mode == "autogluon") default_kwh = kwh;

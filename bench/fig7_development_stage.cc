@@ -72,16 +72,17 @@ int Main() {
   // --- Execution + inference: CAML(tuned) vs the field. ---
   const std::vector<std::string> systems = {
       "tabpfn", "caml", "caml_tuned", "flaml", "autogluon"};
-  auto records = runner.Sweep(systems, {10.0, 30.0, 60.0, 300.0});
-  if (!records.ok()) return 1;
+  auto sweep = runner.Sweep(systems, {10.0, 30.0, 60.0, 300.0});
+  if (!sweep.ok()) return 1;
+  const std::vector<RunRecord> records = OkOnly(*sweep);
 
   PrintBanner(
       "Figure 7: accuracy and energy per stage (CAML(tuned) included)");
   TablePrinter table({"system", "budget", "bal.acc", "exec kWh",
                       "inference kWh/inst"});
-  for (const std::string& system : DistinctSystems(*records)) {
-    for (double budget : DistinctBudgets(*records, system)) {
-      const auto cell = Filter(*records, system, budget);
+  for (const std::string& system : DistinctSystems(records)) {
+    for (double budget : DistinctBudgets(records, system)) {
+      const auto cell = Filter(records, system, budget);
       table.AddRow(
           {system, StrFormat("%gs", budget),
            StrFormat("%.3f",
@@ -114,7 +115,7 @@ int Main() {
   // --- Amortization: after how many executions does tuning pay off? ---
   auto mean_exec = [&](const std::string& system, double budget) {
     return BootstrapAcrossDatasets(
-               Filter(*records, system, budget),
+               Filter(records, system, budget),
                [](const RunRecord& r) { return r.execution_kwh; }, 200,
                4)
         .mean;

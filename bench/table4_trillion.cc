@@ -22,8 +22,9 @@ int Main() {
   const std::vector<std::string> systems = {
       "tabpfn",       "autogluon",    "autosklearn1", "autosklearn2",
       "caml",         "tpot",         "flaml"};
-  auto records = runner.Sweep(systems, config.paper_budgets);
-  if (!records.ok()) return 1;
+  auto sweep = runner.Sweep(systems, config.paper_budgets);
+  if (!sweep.ok()) return 1;
+  const std::vector<RunRecord> records = OkOnly(*sweep);
 
   const EmissionFactors factors = EmissionFactors::Germany2023();
   constexpr double kTrillion = 1e12;
@@ -33,13 +34,13 @@ int Main() {
     double kwh;
   };
   std::vector<Row> rows;
-  for (const std::string& system : DistinctSystems(*records)) {
+  for (const std::string& system : DistinctSystems(records)) {
     // Pick the budget with the highest mean accuracy (the paper uses the
     // best-performing model per system).
     double best_acc = -1.0;
     double best_inference = 0.0;
-    for (double budget : DistinctBudgets(*records, system)) {
-      const auto cell = Filter(*records, system, budget);
+    for (double budget : DistinctBudgets(records, system)) {
+      const auto cell = Filter(records, system, budget);
       const double acc =
           BootstrapAcrossDatasets(
               cell,

@@ -18,17 +18,18 @@ int Main() {
   ExperimentRunner runner(config);
   const std::vector<std::string> systems = {"caml", "flaml", "autogluon",
                                             "autosklearn1", "tpot"};
-  auto records = runner.Sweep(systems, {60.0, 300.0});
-  if (!records.ok()) return 1;
+  auto sweep = runner.Sweep(systems, {60.0, 300.0});
+  if (!sweep.ok()) return 1;
+  const std::vector<RunRecord> records = OkOnly(*sweep);
 
   PrintBanner(
       "Table 6: datasets where 5min accuracy < 1min accuracy "
       "(overfitting / no early stopping)");
   TablePrinter table({"system", "overfitted datasets", "of", "worst set"});
-  for (const std::string& system : DistinctSystems(*records)) {
+  for (const std::string& system : DistinctSystems(records)) {
     // Mean accuracy per dataset per budget.
     std::map<std::string, std::map<double, std::vector<double>>> per_set;
-    for (const RunRecord& r : *records) {
+    for (const RunRecord& r : records) {
       if (r.system != system) continue;
       per_set[r.dataset][r.paper_budget_seconds].push_back(
           r.test_balanced_accuracy);

@@ -5,6 +5,9 @@
 //   green_automl_cli [--system NAME] [--budget SECONDS] [--csv FILE]
 //                    [--cores N] [--jobs N] [--constraint SECONDS_PER_ROW]
 //                    [--json OUT.jsonl]
+//                    [--sweep SYS1,SYS2,...] [--budgets B1,B2,...]
+//                    [--journal PATH] [--resume] [--retries N]
+//                    [--cell-timeout SECONDS] [--faults SPEC]
 //
 //   --system      tabpfn | caml | caml_tuned | flaml | autogluon |
 //                 autogluon_refit | autosklearn1 | autosklearn2 | tpot |
@@ -17,13 +20,32 @@
 //                 hardware threads (default: $GREEN_JOBS, else 1)
 //   --constraint  max inference seconds per instance (CAML only)
 //   --json        append the run record to a JSON-lines file
+//
+// Sweep mode (fault-tolerant, journaled):
+//   --sweep         comma-separated system list; runs a full suite sweep
+//                   over the AMLB subset instead of one dataset, with
+//                   per-cell retry, failure taxonomy, and journaling
+//   --budgets       comma-separated paper budgets (default: 10,30,60,300)
+//   --journal       JSONL journal appended per completed cell
+//                   (default: $GREEN_JOURNAL)
+//   --resume        re-run only cells missing from the journal
+//                   (default: $GREEN_RESUME)
+//   --retries       max attempts per cell, >= 1 (default: $GREEN_RETRIES,
+//                   else 2)
+//   --cell-timeout  host seconds before the watchdog cancels a cell, 0 =
+//                   off (default: $GREEN_CELL_TIMEOUT)
+//   --faults        fault-injection spec, e.g. "run.fit@0.05"
+//                   (default: $GREEN_FAULTS; see common/fault.h)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "green/bench_util/aggregate.h"
 #include "green/bench_util/experiment.h"
 #include "green/bench_util/record_io.h"
+#include "green/common/stringutil.h"
 #include "green/common/thread_pool.h"
 #include "green/data/synthetic.h"
 #include "green/energy/co2.h"
@@ -32,14 +54,76 @@
 namespace green {
 namespace {
 
+/// Runs a fault-tolerant suite sweep (--sweep mode): every cell gets a
+/// record, failures are retried and classified, completed cells land in
+/// the journal so an interrupted sweep restarts with --resume.
+int SweepMain(const std::string& sweep_systems,
+              const std::string& budgets_arg, ExperimentConfig config,
+              const std::string& json_path) {
+  std::vector<std::string> systems;
+  for (const std::string& s : Split(sweep_systems, ',')) {
+    const std::string name(Trim(s));
+    if (!name.empty()) systems.push_back(name);
+  }
+  if (systems.empty()) {
+    std::fprintf(stderr, "--sweep needs at least one system name\n");
+    return 2;
+  }
+  std::vector<double> budgets;
+  for (const std::string& b : Split(budgets_arg, ',')) {
+    const double budget = std::atof(std::string(Trim(b)).c_str());
+    if (budget > 0.0) budgets.push_back(budget);
+  }
+  if (budgets.empty()) budgets = {10.0, 30.0, 60.0, 300.0};
+
+  // Sweeps run the AMLB subset, not the single-dataset CLI default.
+  config.dataset_limit = ExperimentConfig::FromEnv().dataset_limit;
+  ExperimentRunner runner(config);
+  auto records = runner.Sweep(systems, budgets);
+  if (!records.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 records.status().ToString().c_str());
+    return 1;
+  }
+  if (runner.last_sweep_resumed_cells() > 0) {
+    std::printf("resumed %zu cell(s) from the journal\n",
+                runner.last_sweep_resumed_cells());
+  }
+
+  const std::string failures = RenderFailureSummary(*records);
+  if (!failures.empty()) std::printf("%s", failures.c_str());
+  const std::vector<RunRecord> measured = OkOnly(*records);
+  std::printf("sweep complete: %zu/%zu cells measured ok\n",
+              measured.size(), records->size());
+
+  if (!json_path.empty()) {
+    Status st = WriteRecordsJsonl(*records, json_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "json export failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("records written   : %s (%zu)\n", json_path.c_str(),
+                records->size());
+  }
+  return measured.empty() ? 1 : 0;
+}
+
 int Main(int argc, char** argv) {
   std::string system_name = "caml";
   double budget = 30.0;
   std::string csv_path;
   std::string json_path;
+  std::string sweep_systems;
+  std::string budgets_arg;
   int cores = 1;
   int jobs = JobsFromEnv();
   double constraint = 0.0;
+  std::string journal_path = JournalFromEnv();
+  bool resume = ResumeFromEnv();
+  int retries = RetriesFromEnv();
+  double cell_timeout = CellTimeoutFromEnv();
+  std::string faults = FaultsFromEnv();
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -60,6 +144,20 @@ int Main(int argc, char** argv) {
       if (jobs <= 0) jobs = ThreadPool::DefaultThreads();
     } else if (std::strcmp(argv[i], "--constraint") == 0) {
       constraint = std::atof(next());
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep_systems = next();
+    } else if (std::strcmp(argv[i], "--budgets") == 0) {
+      budgets_arg = next();
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      journal_path = next();
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      retries = std::max(1, std::atoi(next()));
+    } else if (std::strcmp(argv[i], "--cell-timeout") == 0) {
+      cell_timeout = std::max(0.0, std::atof(next()));
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = next();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -70,6 +168,15 @@ int Main(int argc, char** argv) {
   config.dataset_limit = 1;  // The runner's suite is unused here.
   config.cores = cores;
   config.jobs = jobs;  // Harness sweep threads (RunOne itself is 1 cell).
+  config.journal_path = journal_path;
+  config.resume = resume;
+  config.retry.max_attempts = retries;
+  config.cell_timeout_seconds = cell_timeout;
+  config.faults = faults;
+
+  if (!sweep_systems.empty()) {
+    return SweepMain(sweep_systems, budgets_arg, config, json_path);
+  }
   ExperimentRunner runner(config);
 
   Dataset dataset;

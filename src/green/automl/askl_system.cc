@@ -41,6 +41,9 @@ Result<AsklMetaStore> AsklMetaStore::BuildFromCorpus(
 
   Rng rng(seed);
   for (const Dataset& dataset : corpus) {
+    if (ctx->Cancelled()) {
+      return Status::DeadlineExceeded("askl: meta-store build cancelled");
+    }
     Rng local = rng.Fork();
     TrainTestIndices split = StratifiedSplit(dataset, 0.67, &local);
     TrainTestData holdout = Materialize(dataset, split);
@@ -72,6 +75,9 @@ Result<AsklMetaStore> AsklMetaStore::BuildFromCorpus(
 Result<AutoMlRunResult> AsklSystem::Fit(const Dataset& train,
                                         const AutoMlOptions& options,
                                         ExecutionContext* ctx) {
+  if (ctx->Cancelled()) {
+    return Status::DeadlineExceeded("askl: cancelled before start");
+  }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
   const double start = ctx->Now();
@@ -115,6 +121,10 @@ Result<AutoMlRunResult> AsklSystem::Fit(const Dataset& train,
         static_cast<double>(train.num_rows() * train.num_features()),
         train.FeatureBytes());
     for (PipelineConfig config : meta_store_->WarmStartConfigs(meta, 3)) {
+      if (ctx->Cancelled()) {
+        ctx->ClearDeadline();
+        return Status::DeadlineExceeded("askl: cancelled mid-warm-start");
+      }
       if (!policy.MayStartEvaluation(ctx->Now(), deadline, 0.0)) break;
       config.seed = HashCombine(options.seed, 0x3a3a);
       auto evaluated =
@@ -132,6 +142,10 @@ Result<AutoMlRunResult> AsklSystem::Fit(const Dataset& train,
 
   int iteration = 0;
   while (policy.MayStartEvaluation(ctx->Now(), deadline, 0.0)) {
+    if (ctx->Cancelled()) {
+      ctx->ClearDeadline();
+      return Status::DeadlineExceeded("askl: cancelled mid-search");
+    }
     const ParamPoint point = optimizer.Ask();
     const PipelineConfig config =
         space.ToConfig(point, HashCombine(options.seed, iteration + 101));

@@ -15,6 +15,9 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
   if (train.num_rows() < 4) {
     return Status::InvalidArgument("caml: too few rows");
   }
+  if (ctx->Cancelled()) {
+    return Status::DeadlineExceeded("caml: cancelled before start");
+  }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
   const double start = ctx->Now();
@@ -66,6 +69,10 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
   int iteration = 0;
   int stall = 0;  // Consecutive evaluations without improvement.
   while (!ctx->DeadlineExceeded()) {
+    if (ctx->Cancelled()) {
+      ctx->ClearDeadline();
+      return Status::DeadlineExceeded("caml: cancelled mid-search");
+    }
     if (params_.early_stopping_patience > 0 &&
         stall >= params_.early_stopping_patience) {
       break;  // §3.8: stop once the search stops improving.

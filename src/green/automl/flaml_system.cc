@@ -62,6 +62,9 @@ Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
   if (train.num_rows() < 4) {
     return Status::InvalidArgument("flaml: too few rows");
   }
+  if (ctx->Cancelled()) {
+    return Status::DeadlineExceeded("flaml: cancelled before start");
+  }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
   const double start = ctx->Now();
@@ -96,6 +99,10 @@ Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
   int iteration = 0;
 
   while (policy.MayStartEvaluation(ctx->Now(), deadline, 0.0)) {
+    if (ctx->Cancelled()) {
+      ctx->ClearDeadline();
+      return Status::DeadlineExceeded("flaml: cancelled mid-search");
+    }
     const Rung& rung = LearnerLadder()[ladder_index];
     PipelineConfig config;
     config.model = rung.model;

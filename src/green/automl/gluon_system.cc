@@ -42,6 +42,9 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   if (train.num_rows() < 8) {
     return Status::InvalidArgument("autogluon: too few rows");
   }
+  if (ctx->Cancelled()) {
+    return Status::DeadlineExceeded("autogluon: cancelled before start");
+  }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
   const double start = ctx->Now();
@@ -113,6 +116,9 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   const size_t k_classes = static_cast<size_t>(train.num_classes());
 
   for (const PipelineConfig& config : planned) {
+    if (ctx->Cancelled()) {
+      return Status::DeadlineExceeded("autogluon: cancelled mid-bagging");
+    }
     FittedArtifact::Member member;
     ProbaMatrix oof(n, std::vector<double>(k_classes,
                                            1.0 / static_cast<double>(
@@ -232,6 +238,9 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
 
   std::vector<EvaluatedPipeline> meta_models;
   for (const PipelineConfig& config : stackers) {
+    if (ctx->Cancelled()) {
+      return Status::DeadlineExceeded("autogluon: cancelled mid-stacking");
+    }
     auto evaluated = TrainAndScore(config, meta_holdout.train,
                                    meta_holdout.test, ctx);
     if (!evaluated.ok()) continue;

@@ -14,6 +14,9 @@ Result<AutoMlRunResult> RandomSearchSystem::Fit(
   if (train.num_rows() < 4) {
     return Status::InvalidArgument("random_search: too few rows");
   }
+  if (ctx->Cancelled()) {
+    return Status::DeadlineExceeded("random_search: cancelled before start");
+  }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
   const double start = ctx->Now();
@@ -44,6 +47,10 @@ Result<AutoMlRunResult> RandomSearchSystem::Fit(
 
   int iteration = 0;
   while (!ctx->DeadlineExceeded()) {
+    if (ctx->Cancelled()) {
+      ctx->ClearDeadline();
+      return Status::DeadlineExceeded("random_search: cancelled mid-search");
+    }
     const PipelineConfig config = space.SampleConfig(
         &rng, HashCombine(options.seed, ++iteration));
     const double estimated =

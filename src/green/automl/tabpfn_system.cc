@@ -11,6 +11,9 @@ Result<AutoMlRunResult> TabPfnSystem::Fit(const Dataset& train,
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("tabpfn: empty training data");
   }
+  if (ctx->Cancelled()) {
+    return Status::DeadlineExceeded("tabpfn: cancelled before start");
+  }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
   const double start = ctx->Now();

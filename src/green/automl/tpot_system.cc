@@ -17,6 +17,9 @@ Result<AutoMlRunResult> TpotSystem::Fit(const Dataset& train,
   if (train.num_rows() < static_cast<size_t>(2 * params_.cv_folds)) {
     return Status::InvalidArgument("tpot: too few rows for CV");
   }
+  if (ctx->Cancelled()) {
+    return Status::DeadlineExceeded("tpot: cancelled before start");
+  }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
   const double start = ctx->Now();
@@ -46,6 +49,9 @@ Result<AutoMlRunResult> TpotSystem::Fit(const Dataset& train,
   // pipeline — the cost multiplier that slows TPOT down.
   auto cross_validate =
       [&](const ParamPoint& point) -> Result<std::vector<double>> {
+    if (ctx->Cancelled()) {
+      return Status::DeadlineExceeded("tpot: cancelled mid-evolution");
+    }
     const PipelineConfig config =
         space.ToConfig(point, HashCombine(options.seed, ++eval_counter));
     // TPOT enforces a per-evaluation timeout: pipelines whose k-fold CV
@@ -104,7 +110,12 @@ Result<AutoMlRunResult> TpotSystem::Fit(const Dataset& train,
   ga.seed = HashCombine(options.seed, 0x9307);
   const Nsga2Result evolved =
       Nsga2(space.space(), ga, cross_validate,
-            [&]() { return ctx->DeadlineExceeded(); });
+            [&]() { return ctx->DeadlineExceeded() || ctx->Cancelled(); });
+
+  if (ctx->Cancelled()) {
+    ctx->ClearDeadline();
+    return Status::DeadlineExceeded("tpot: cancelled mid-evolution");
+  }
 
   if (evolved.population.empty()) {
     return Status::Internal("tpot: no pipeline survived evolution");

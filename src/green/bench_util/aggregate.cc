@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "green/bench_util/table_printer.h"
 #include "green/common/mathutil.h"
+#include "green/common/stringutil.h"
 
 namespace green {
 
@@ -51,6 +53,64 @@ std::vector<RunRecord> Filter(const std::vector<RunRecord>& records,
     }
   }
   return out;
+}
+
+std::vector<RunRecord> OkOnly(const std::vector<RunRecord>& records) {
+  std::vector<RunRecord> out;
+  out.reserve(records.size());
+  for (const RunRecord& record : records) {
+    if (record.ok()) out.push_back(record);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, OutcomeCounts>> CountOutcomes(
+    const std::vector<RunRecord>& records) {
+  std::vector<std::pair<std::string, OutcomeCounts>> out;
+  for (const RunRecord& record : records) {
+    auto it = std::find_if(out.begin(), out.end(),
+                           [&](const auto& entry) {
+                             return entry.first == record.system;
+                           });
+    if (it == out.end()) {
+      out.emplace_back(record.system, OutcomeCounts{});
+      it = std::prev(out.end());
+    }
+    switch (record.outcome) {
+      case RunOutcome::kOk:
+        ++it->second.ok;
+        break;
+      case RunOutcome::kFailed:
+        ++it->second.failed;
+        break;
+      case RunOutcome::kTimeout:
+        ++it->second.timeout;
+        break;
+      case RunOutcome::kSkipped:
+        ++it->second.skipped;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RenderFailureSummary(const std::vector<RunRecord>& records) {
+  const auto counts = CountOutcomes(records);
+  bool any_non_ok = false;
+  for (const auto& [system, c] : counts) {
+    if (c.failed + c.timeout + c.skipped > 0) any_non_ok = true;
+  }
+  if (!any_non_ok) return std::string();
+
+  TablePrinter table({"system", "cells", "ok", "failed", "timeout",
+                      "skipped"});
+  for (const auto& [system, c] : counts) {
+    table.AddRow({system, StrFormat("%zu", c.total()),
+                  StrFormat("%zu", c.ok), StrFormat("%zu", c.failed),
+                  StrFormat("%zu", c.timeout),
+                  StrFormat("%zu", c.skipped)});
+  }
+  return table.Render();
 }
 
 std::vector<std::string> DistinctSystems(

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "green/bench_util/experiment.h"
@@ -33,6 +34,29 @@ Stats BootstrapAcrossDatasets(
 std::vector<RunRecord> Filter(const std::vector<RunRecord>& records,
                               const std::string& system,
                               double paper_budget);
+
+/// Only the successfully measured records. Sweep returns every
+/// enumerated cell (including skipped/failed/timeout ones); metric
+/// aggregation must run on this subset so a failed cell's zeroed metrics
+/// never dilute a mean.
+std::vector<RunRecord> OkOnly(const std::vector<RunRecord>& records);
+
+/// Per-outcome cell counts.
+struct OutcomeCounts {
+  size_t ok = 0;
+  size_t failed = 0;
+  size_t timeout = 0;
+  size_t skipped = 0;
+  size_t total() const { return ok + failed + timeout + skipped; }
+};
+
+/// Counts outcomes per system (insertion order of first appearance).
+std::vector<std::pair<std::string, OutcomeCounts>> CountOutcomes(
+    const std::vector<RunRecord>& records);
+
+/// AMLB-style failure table: one row per system with ok/failed/timeout/
+/// skipped counts. Empty string when every cell succeeded.
+std::string RenderFailureSummary(const std::vector<RunRecord>& records);
 
 /// Distinct (in insertion order) values of a record field.
 std::vector<std::string> DistinctSystems(

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <optional>
+#include <thread>
 
 #include "green/automl/caml_system.h"
 #include "green/automl/flaml_system.h"
@@ -11,6 +14,7 @@
 #include "green/automl/random_search_system.h"
 #include "green/automl/tabpfn_system.h"
 #include "green/automl/tpot_system.h"
+#include "green/bench_util/record_io.h"
 #include "green/common/logging.h"
 #include "green/common/stringutil.h"
 #include "green/common/thread_pool.h"
@@ -25,9 +29,45 @@ int JobsFromEnv() {
   if (jobs == nullptr || jobs[0] == '\0') return 1;
   char* end = nullptr;
   const long parsed = std::strtol(jobs, &end, 10);
-  if (end == jobs) return 1;
+  if (end == jobs || *end != '\0') return 1;
   if (parsed == 0) return ThreadPool::DefaultThreads();
-  return static_cast<int>(std::max(1L, parsed));
+  // Clamp before narrowing: LONG_MAX would overflow the int cast.
+  return static_cast<int>(std::clamp(parsed, 1L, 4096L));
+}
+
+std::string FaultsFromEnv() {
+  const char* faults = std::getenv("GREEN_FAULTS");
+  return faults == nullptr ? std::string() : std::string(faults);
+}
+
+std::string JournalFromEnv() {
+  const char* journal = std::getenv("GREEN_JOURNAL");
+  return journal == nullptr ? std::string() : std::string(journal);
+}
+
+bool ResumeFromEnv() {
+  const char* resume = std::getenv("GREEN_RESUME");
+  return resume != nullptr && resume[0] == '1';
+}
+
+int RetriesFromEnv() {
+  const int fallback = RetryPolicy().max_attempts;
+  const char* retries = std::getenv("GREEN_RETRIES");
+  if (retries == nullptr || retries[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(retries, &end, 10);
+  if (end == retries || *end != '\0') return fallback;
+  return static_cast<int>(std::clamp(parsed, 1L, 100L));
+}
+
+double CellTimeoutFromEnv() {
+  const char* timeout = std::getenv("GREEN_CELL_TIMEOUT");
+  if (timeout == nullptr || timeout[0] == '\0') return 0.0;
+  char* end = nullptr;
+  const double parsed = std::strtod(timeout, &end);
+  if (end == timeout || *end != '\0') return 0.0;
+  if (!(parsed > 0.0)) return 0.0;  // Rejects negatives and NaN.
+  return parsed;
 }
 
 ExperimentConfig ExperimentConfig::FromEnv() {
@@ -39,7 +79,49 @@ ExperimentConfig ExperimentConfig::FromEnv() {
     config.repetitions = 10;
   }
   config.jobs = JobsFromEnv();
+  config.faults = FaultsFromEnv();
+  config.journal_path = JournalFromEnv();
+  config.resume = ResumeFromEnv();
+  config.retry.max_attempts = RetriesFromEnv();
+  config.cell_timeout_seconds = CellTimeoutFromEnv();
   return config;
+}
+
+const char* RunOutcomeName(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kOk:
+      return "ok";
+    case RunOutcome::kFailed:
+      return "failed";
+    case RunOutcome::kTimeout:
+      return "timeout";
+    case RunOutcome::kSkipped:
+      return "skipped";
+  }
+  return "failed";
+}
+
+Result<RunOutcome> RunOutcomeFromName(const std::string& name) {
+  if (name == "ok") return RunOutcome::kOk;
+  if (name == "failed") return RunOutcome::kFailed;
+  if (name == "timeout") return RunOutcome::kTimeout;
+  if (name == "skipped") return RunOutcome::kSkipped;
+  return Status::InvalidArgument("unknown outcome: " + name);
+}
+
+RunOutcome OutcomeForStatus(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk:
+      return RunOutcome::kOk;
+    case Status::Code::kDeadlineExceeded:
+      return RunOutcome::kTimeout;
+    case Status::Code::kInvalidArgument:
+    case Status::Code::kUnimplemented:
+    case Status::Code::kFailedPrecondition:
+      return RunOutcome::kSkipped;
+    default:
+      return RunOutcome::kFailed;
+  }
 }
 
 const std::vector<std::string>& AllSystemNames() {
@@ -54,7 +136,9 @@ const std::vector<std::string>& AllSystemNames() {
 ExperimentRunner::ExperimentRunner(const ExperimentConfig& config)
     : config_(config),
       energy_model_(config.machine),
-      tuned_store_(TunedConfigStore::PaperDefaults()) {
+      tuned_store_(TunedConfigStore::PaperDefaults()),
+      faults_(FaultInjector::Lenient(config.faults,
+                                     HashCombine(config.seed, 0xfa17))) {
   auto suite = InstantiateAmlbSuite(config_.profile, config_.seed,
                                     config_.dataset_limit);
   GREEN_CHECK(suite.ok());
@@ -99,6 +183,13 @@ Result<std::unique_ptr<AutoMlSystem>> MakeProbeSystem(
   return Status::NotFound("unknown system: " + system_name);
 }
 
+/// Key identifying a sweep cell in journals and resume matching.
+std::string CellKey(const std::string& system, const std::string& dataset,
+                    double budget, int rep) {
+  return StrFormat("%s|%s|%.6g|%d", system.c_str(), dataset.c_str(),
+                   budget, rep);
+}
+
 }  // namespace
 
 double ExperimentRunner::MinBudget(const std::string& system_name) const {
@@ -112,35 +203,35 @@ double ExperimentRunner::MinBudget(const std::string& system_name) const {
 Status ExperimentRunner::EnsureMetaStore() {
   // ASKL2's warm start is meta-learned on a repository of pre-searched
   // datasets; the cost is charged to the development stage (the paper:
-  // 140 datasets x 24 h of offline search). Built exactly once even when
-  // many sweep workers hit ASKL cells concurrently: call_once blocks the
-  // others until the store (and its development-energy charge) is ready.
-  std::call_once(meta_once_, [this] {
-    meta_status_ = [this]() -> Status {
-      MetaCorpusOptions corpus_options;
-      corpus_options.num_datasets = 16;
-      corpus_options.seed = HashCombine(config_.seed, 0x5743);
-      GREEN_ASSIGN_OR_RETURN(
-          std::vector<Dataset> corpus,
-          GenerateMetaCorpus(corpus_options, config_.profile));
+  // 140 datasets x 24 h of offline search). Built once under a mutex —
+  // concurrent sweep workers hitting ASKL cells block until the store
+  // (and its development-energy charge) is ready. A FAILED build is NOT
+  // memoized: the next caller rebuilds, so a transient fault recovered
+  // by the retry policy does not poison every later ASKL cell.
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  if (meta_store_ != nullptr) return Status::Ok();
+  GREEN_RETURN_IF_ERROR(faults_.Check("askl.metastore.build"));
 
-      VirtualClock clock;
-      ExecutionContext ctx(&clock, &energy_model_, config_.cores);
-      EnergyMeter meter(&energy_model_);
-      meter.Start(clock.Now());
-      ctx.SetMeter(&meter);
-      GREEN_ASSIGN_OR_RETURN(
-          AsklMetaStore store,
-          AsklMetaStore::BuildFromCorpus(corpus, /*evals_per_dataset=*/6,
-                                         HashCombine(config_.seed, 0x5744),
-                                         &ctx));
-      const EnergyReading reading = meter.Stop(clock.Now());
-      development_kwh_.fetch_add(reading.kwh() / config_.budget_scale);
-      meta_store_ = std::make_unique<AsklMetaStore>(std::move(store));
-      return Status::Ok();
-    }();
-  });
-  return meta_status_;
+  MetaCorpusOptions corpus_options;
+  corpus_options.num_datasets = 16;
+  corpus_options.seed = HashCombine(config_.seed, 0x5743);
+  GREEN_ASSIGN_OR_RETURN(std::vector<Dataset> corpus,
+                         GenerateMetaCorpus(corpus_options, config_.profile));
+
+  VirtualClock clock;
+  ExecutionContext ctx(&clock, &energy_model_, config_.cores);
+  EnergyMeter meter(&energy_model_);
+  meter.Start(clock.Now());
+  ctx.SetMeter(&meter);
+  GREEN_ASSIGN_OR_RETURN(
+      AsklMetaStore store,
+      AsklMetaStore::BuildFromCorpus(corpus, /*evals_per_dataset=*/6,
+                                     HashCombine(config_.seed, 0x5744),
+                                     &ctx));
+  const EnergyReading reading = meter.Stop(clock.Now());
+  development_kwh_.fetch_add(reading.kwh() / config_.budget_scale);
+  meta_store_ = std::make_unique<AsklMetaStore>(std::move(store));
+  return Status::Ok();
 }
 
 Result<std::unique_ptr<AutoMlSystem>> ExperimentRunner::MakeSystem(
@@ -187,7 +278,16 @@ Result<std::unique_ptr<AutoMlSystem>> ExperimentRunner::MakeSystem(
 Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
                                            const Dataset& dataset,
                                            double paper_budget,
-                                           int repetition, int cores) {
+                                           int repetition, int cores,
+                                           const CancelToken* cancel,
+                                           int attempt) {
+  // Probabilistic fault draws inside this attempt are keyed by the cell
+  // AND the attempt, so a retry re-rolls the dice instead of
+  // deterministically re-hitting the same injected failure.
+  FaultScope fault_scope(StrFormat("%s|%s|%.6g|%d|%d", system_name.c_str(),
+                                   dataset.name().c_str(), paper_budget,
+                                   repetition, attempt));
+
   GREEN_ASSIGN_OR_RETURN(std::unique_ptr<AutoMlSystem> system,
                          MakeSystem(system_name, paper_budget));
 
@@ -204,12 +304,14 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   VirtualClock clock;
   ExecutionContext ctx(&clock, &energy_model_,
                        cores > 0 ? cores : config_.cores);
+  ctx.SetCancelToken(cancel);
 
   AutoMlOptions options;
   options.search_budget_seconds = paper_budget * config_.budget_scale;
   options.cores = ctx.cores();
   options.seed = run_seed;
 
+  GREEN_RETURN_IF_ERROR(faults_.Check("run.fit"));
   GREEN_ASSIGN_OR_RETURN(AutoMlRunResult run,
                          system->Fit(data.train, options, &ctx));
 
@@ -223,8 +325,14 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   record.num_pipelines = run.artifact.NumPipelines();
   record.pipelines_evaluated = run.pipelines_evaluated;
   record.best_validation_score = run.best_validation_score;
+  record.attempts = attempt;
 
   // Inference stage: metered separately, normalized per instance.
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::DeadlineExceeded(system_name +
+                                    ": cancelled before inference");
+  }
+  GREEN_RETURN_IF_ERROR(faults_.Check("run.predict"));
   EnergyMeter inference_meter(&energy_model_);
   inference_meter.Start(clock.Now());
   ctx.SetMeter(&inference_meter);
@@ -244,13 +352,74 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   return record;
 }
 
+RunRecord ExperimentRunner::RunCell(const std::string& system_name,
+                                    const Dataset& dataset,
+                                    double paper_budget, int repetition,
+                                    int cores, const CancelToken* cancel) {
+  RunRecord record;
+  record.system = system_name;
+  record.dataset = dataset.name();
+  record.paper_budget_seconds = paper_budget;
+  record.repetition = repetition;
+
+  // The paper's protocol: systems whose minimum supported search time
+  // exceeds the cell's budget are not run at all (ASKL below 30 s, TPOT
+  // below 60 s). Recorded, not dropped — the skip is data.
+  if (paper_budget < MinBudget(system_name)) {
+    record.outcome = RunOutcome::kSkipped;
+    record.error = StrFormat("%s: budget %.6gs below system minimum %.6gs",
+                             system_name.c_str(), paper_budget,
+                             MinBudget(system_name));
+    record.attempts = 0;
+    return record;
+  }
+
+  // Backoff advances a bookkeeping virtual clock (logged, deterministic)
+  // rather than sleeping the host thread: a retried sweep costs the same
+  // wall time as an unretried one.
+  VirtualClock backoff_clock;
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    Result<RunRecord> run = RunOne(system_name, dataset, paper_budget,
+                                   repetition, cores, cancel, attempt);
+    if (run.ok()) {
+      record = std::move(run).value();
+      record.outcome = RunOutcome::kOk;
+      record.error.clear();
+      record.attempts = attempt;
+      return record;
+    }
+    const Status& status = run.status();
+    const RunOutcome outcome = OutcomeForStatus(status);
+    const bool cancelled = cancel != nullptr && cancel->cancelled();
+    if (outcome == RunOutcome::kFailed && IsRetryable(status) &&
+        attempt < config_.retry.max_attempts && !cancelled) {
+      const double backoff = config_.retry.BackoffSeconds(attempt);
+      backoff_clock.Advance(backoff);
+      LogDebug(StrFormat(
+          "retrying %s on %s (attempt %d/%d, backoff %.3gs virtual): %s",
+          system_name.c_str(), dataset.name().c_str(), attempt + 1,
+          config_.retry.max_attempts, backoff,
+          status.ToString().c_str()));
+      continue;
+    }
+    record.outcome = outcome;
+    record.error = status.ToString();
+    record.attempts = attempt;
+    return record;
+  }
+}
+
 Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
     const std::vector<std::string>& systems,
     const std::vector<double>& paper_budgets) {
   // Enumerate every cell up front in the canonical (system, budget,
-  // dataset, repetition) order. Run seeds depend only on the cell, never
-  // on execution order, so the parallel path below is bit-identical to
-  // running this list sequentially.
+  // dataset, repetition) order — including cells below a system's
+  // minimum budget, which come back as `skipped` records. Run seeds and
+  // fault draws depend only on the cell, never on execution order, so
+  // the parallel path below is bit-identical to running this list
+  // sequentially.
   struct Cell {
     const std::string* system;
     double budget;
@@ -260,7 +429,6 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
   std::vector<Cell> cells;
   for (const std::string& system : systems) {
     for (double budget : paper_budgets) {
-      if (budget < MinBudget(system)) continue;
       for (const Dataset& dataset : suite_) {
         for (int rep = 0; rep < config_.repetitions; ++rep) {
           cells.push_back(Cell{&system, budget, &dataset, rep});
@@ -271,41 +439,181 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
     }
   }
 
+  // Journal bootstrap. Resume loads completed cells keyed by
+  // (system, dataset, budget, rep); a fresh journaled sweep truncates.
+  std::map<std::string, RunRecord> journaled;
+  last_sweep_resumed_cells_ = 0;
+  if (!config_.journal_path.empty()) {
+    if (config_.resume) {
+      GREEN_ASSIGN_OR_RETURN(std::vector<RunRecord> previous,
+                             ReadJournalJsonl(config_.journal_path));
+      for (RunRecord& record : previous) {
+        journaled[CellKey(record.system, record.dataset,
+                          record.paper_budget_seconds,
+                          record.repetition)] = std::move(record);
+      }
+    } else {
+      FILE* f = std::fopen(config_.journal_path.c_str(), "w");
+      if (f == nullptr) {
+        return Status::IoError("cannot open journal " +
+                               config_.journal_path);
+      }
+      std::fclose(f);
+    }
+  }
+
   const int jobs =
       std::min<int>(std::max(1, config_.jobs),
                     static_cast<int>(std::max<size_t>(1, cells.size())));
-  std::vector<std::optional<Result<RunRecord>>> slots(cells.size());
+  std::vector<std::optional<RunRecord>> slots(cells.size());
+
+  // Watchdog state: per-cell cancel tokens plus host start timestamps
+  // (0 = not started, -1 = done). The watchdog thread scans running
+  // cells and cancels any whose host wall time exceeds the allowance;
+  // the cell's search loop notices at its next loop head and unwinds
+  // with DEADLINE_EXCEEDED -> recorded as `timeout`.
+  const bool watchdog_enabled = config_.cell_timeout_seconds > 0.0;
+  std::vector<CancelToken> tokens(cells.size());
+  std::vector<std::atomic<int64_t>> start_ns(cells.size());
+  for (auto& s : start_ns) s.store(0, std::memory_order_relaxed);
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (watchdog_enabled) {
+    const int64_t allowance_ns =
+        static_cast<int64_t>(config_.cell_timeout_seconds * 1e9);
+    watchdog = std::thread([&] {
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        const int64_t now =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        for (size_t i = 0; i < cells.size(); ++i) {
+          const int64_t started =
+              start_ns[i].load(std::memory_order_acquire);
+          if (started > 0 && now - started > allowance_ns) {
+            tokens[i].Cancel();
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
+  std::mutex journal_mutex;
+  std::atomic<size_t> resumed{0};
   const auto start = std::chrono::steady_clock::now();
   ParallelFor(cells.size(), jobs, [&](size_t i) {
     const Cell& cell = cells[i];
-    slots[i].emplace(
-        RunOne(*cell.system, *cell.dataset, cell.budget, cell.rep));
+    const std::string key =
+        CellKey(*cell.system, cell.dataset->name(), cell.budget, cell.rep);
+
+    auto journaled_cell = journaled.find(key);
+    if (journaled_cell != journaled.end()) {
+      slots[i].emplace(journaled_cell->second);
+      resumed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    // `sweep.cell` is the per-cell injection site the crash/resume tests
+    // use (kind=abort kills the process mid-sweep with the journal
+    // holding only the cells finished so far). Scoped to the cell so
+    // probabilistic draws are jobs-independent.
+    {
+      FaultScope scope("sweep.cell|" + key);
+      const Status injected = faults_.Check("sweep.cell");
+      if (!injected.ok()) {
+        RunRecord record;
+        record.system = *cell.system;
+        record.dataset = cell.dataset->name();
+        record.paper_budget_seconds = cell.budget;
+        record.repetition = cell.rep;
+        record.outcome = OutcomeForStatus(injected);
+        record.error = injected.ToString();
+        record.attempts = 0;
+        slots[i].emplace(std::move(record));
+        return;
+      }
+    }
+
+    if (watchdog_enabled) {
+      const int64_t now =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      start_ns[i].store(now > 0 ? now : 1, std::memory_order_release);
+    }
+    RunRecord record =
+        RunCell(*cell.system, *cell.dataset, cell.budget, cell.rep,
+                /*cores=*/0, watchdog_enabled ? &tokens[i] : nullptr);
+    start_ns[i].store(-1, std::memory_order_release);
+
+    if (!config_.journal_path.empty()) {
+      std::lock_guard<std::mutex> lock(journal_mutex);
+      const Status appended =
+          AppendRecordJsonl(record, config_.journal_path);
+      if (!appended.ok()) {
+        // The sweep's results are still intact in memory; losing journal
+        // durability is worth a warning, not a failed sweep.
+        LogWarning("journal append failed: " + appended.ToString());
+      }
+    }
+    slots[i].emplace(std::move(record));
   });
+
+  if (watchdog_enabled) {
+    watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
+  }
+
   last_sweep_wall_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start)
           .count();
-  LogInfo(StrFormat(
-      "sweep: %zu cells on %d worker thread(s) in %.2fs wall (%.1f "
-      "cells/s)",
-      cells.size(), jobs, last_sweep_wall_seconds_,
-      last_sweep_wall_seconds_ > 0.0
-          ? static_cast<double>(cells.size()) / last_sweep_wall_seconds_
-          : 0.0));
 
   // Collect in enumeration order, independent of completion order.
   std::vector<RunRecord> records;
   records.reserve(cells.size());
+  size_t ok_cells = 0, failed = 0, timeouts = 0, skipped = 0;
   for (size_t i = 0; i < cells.size(); ++i) {
-    Result<RunRecord>& record = *slots[i];
-    if (!record.ok()) {
-      LogWarning("run failed: " + *cells[i].system + " on " +
-                 cells[i].dataset->name() + ": " +
-                 record.status().ToString());
-      continue;
+    RunRecord& record = *slots[i];
+    switch (record.outcome) {
+      case RunOutcome::kOk:
+        ++ok_cells;
+        break;
+      case RunOutcome::kFailed:
+        ++failed;
+        break;
+      case RunOutcome::kTimeout:
+        ++timeouts;
+        break;
+      case RunOutcome::kSkipped:
+        ++skipped;
+        break;
     }
-    records.push_back(std::move(record).value());
+    if (!record.ok() && record.outcome != RunOutcome::kSkipped) {
+      LogWarning(StrFormat("cell %s on %s [%.6gs rep %d]: %s (%s, %d "
+                           "attempt(s))",
+                           record.system.c_str(), record.dataset.c_str(),
+                           record.paper_budget_seconds, record.repetition,
+                           RunOutcomeName(record.outcome),
+                           record.error.c_str(), record.attempts));
+    }
+    records.push_back(std::move(record));
   }
+  last_sweep_resumed_cells_ = resumed.load(std::memory_order_relaxed);
+  if (journaled.size() > last_sweep_resumed_cells_) {
+    LogWarning(StrFormat(
+        "journal has %zu record(s) matching no enumerated cell",
+        journaled.size() - last_sweep_resumed_cells_));
+  }
+  LogInfo(StrFormat(
+      "sweep: %zu cells (%zu ok, %zu failed, %zu timeout, %zu skipped, "
+      "%zu resumed) on %d worker thread(s) in %.2fs wall (%.1f cells/s)",
+      cells.size(), ok_cells, failed, timeouts, skipped,
+      last_sweep_resumed_cells_, jobs, last_sweep_wall_seconds_,
+      last_sweep_wall_seconds_ > 0.0
+          ? static_cast<double>(cells.size()) / last_sweep_wall_seconds_
+          : 0.0));
   return records;
 }
 

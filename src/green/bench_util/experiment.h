@@ -9,6 +9,9 @@
 
 #include "green/automl/askl_system.h"
 #include "green/automl/automl_system.h"
+#include "green/common/cancel.h"
+#include "green/common/fault.h"
+#include "green/common/retry.h"
 #include "green/data/amlb_suite.h"
 #include "green/energy/machine_model.h"
 #include "green/metaopt/tuned_config_store.h"
@@ -35,15 +38,69 @@ struct ExperimentConfig {
   /// concurrently on `jobs` threads, results stay in enumeration order.
   int jobs = 1;
 
+  /// Per-cell retry policy for transient failures (max_attempts = 1
+  /// disables retries). Backoff advances a bookkeeping virtual clock,
+  /// never a host sleep.
+  RetryPolicy retry;
+  /// Host wall-clock seconds a single cell may run before the sweep
+  /// watchdog cancels it (recorded as a `timeout`). 0 disables the
+  /// watchdog.
+  double cell_timeout_seconds = 0.0;
+  /// Fault-injection spec (GREEN_FAULTS grammar, see common/fault.h).
+  /// Empty = no injected faults.
+  std::string faults;
+  /// JSONL journal Sweep appends each completed cell to; empty disables
+  /// journaling.
+  std::string journal_path;
+  /// With a journal: load cells already present in it instead of
+  /// re-running them. Without: the journal is truncated at sweep start.
+  bool resume = false;
+
   /// Reads GREEN_FULL to decide between the fast subset and the full
-  /// 39-task x 10-repetition configuration, and GREEN_JOBS for the
-  /// number of sweep worker threads (0 = all hardware threads).
+  /// 39-task x 10-repetition configuration, plus GREEN_JOBS,
+  /// GREEN_FAULTS, GREEN_JOURNAL, GREEN_RESUME, GREEN_RETRIES, and
+  /// GREEN_CELL_TIMEOUT.
   static ExperimentConfig FromEnv();
 };
 
 /// Parses GREEN_JOBS: unset/invalid = 1, 0 = hardware concurrency,
-/// otherwise the given worker count (clamped to >= 1).
+/// otherwise the given worker count (clamped to [1, 4096]).
 int JobsFromEnv();
+
+/// Parses GREEN_FAULTS leniently (bad clauses dropped with a warning);
+/// returns the raw spec string ("" when unset).
+std::string FaultsFromEnv();
+
+/// GREEN_JOURNAL: journal path, "" when unset.
+std::string JournalFromEnv();
+
+/// GREEN_RESUME: true iff set to a value starting with '1'.
+bool ResumeFromEnv();
+
+/// GREEN_RETRIES: max attempts per cell, clamped to [1, 100];
+/// unset/invalid = the RetryPolicy default.
+int RetriesFromEnv();
+
+/// GREEN_CELL_TIMEOUT: per-cell watchdog seconds, clamped to >= 0;
+/// unset/invalid = 0 (disabled).
+double CellTimeoutFromEnv();
+
+/// Where a cell ended up. Every enumerated cell gets exactly one record;
+/// the outcome is the AMLB-style failure taxonomy.
+enum class RunOutcome {
+  kOk = 0,      ///< Measured successfully.
+  kFailed,      ///< Errored (after exhausting retries if retryable).
+  kTimeout,     ///< Cancelled by the watchdog or hit DEADLINE_EXCEEDED.
+  kSkipped,     ///< Not applicable (unsupported budget, semantic reject).
+};
+
+const char* RunOutcomeName(RunOutcome outcome);
+Result<RunOutcome> RunOutcomeFromName(const std::string& name);
+
+/// Maps a Status to the taxonomy: DEADLINE_EXCEEDED -> timeout;
+/// INVALID_ARGUMENT / UNIMPLEMENTED / FAILED_PRECONDITION -> skipped;
+/// any other error -> failed. OK maps to ok.
+RunOutcome OutcomeForStatus(const Status& status);
 
 /// One (system, dataset, budget, repetition) measurement.
 struct RunRecord {
@@ -62,6 +119,15 @@ struct RunRecord {
   size_t num_pipelines = 0;
   int pipelines_evaluated = 0;
   double best_validation_score = 0.0;
+
+  /// Failure taxonomy. Non-ok records keep the metric fields at zero and
+  /// carry the final error in `error`. `attempts` counts tries actually
+  /// made (0 for cells skipped before any run).
+  RunOutcome outcome = RunOutcome::kOk;
+  std::string error;
+  int attempts = 1;
+
+  bool ok() const { return outcome == RunOutcome::kOk; }
 };
 
 /// Names accepted by MakeSystem / RunOne.
@@ -71,11 +137,13 @@ const std::vector<std::string>& AllSystemNames();
 /// tasks, meters execution and inference separately, scales readings back
 /// to paper scale.
 ///
-/// Thread safety: RunOne is safe to call concurrently from multiple
-/// threads (Sweep does so when config.jobs > 1). Every run gets its own
-/// clock/context/meter; the shared EnergyModel and TunedConfigStore are
-/// strictly read-only, the ASKL meta-store is built exactly once behind
-/// std::call_once, and the development-energy accumulator is atomic.
+/// Thread safety: RunOne/RunCell are safe to call concurrently from
+/// multiple threads (Sweep does so when config.jobs > 1). Every run gets
+/// its own clock/context/meter; the shared EnergyModel and
+/// TunedConfigStore are strictly read-only, the ASKL meta-store is built
+/// under a mutex (a failed build retries on the next call instead of
+/// being memoized forever), and the development-energy accumulator is
+/// atomic.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(const ExperimentConfig& config);
@@ -83,25 +151,44 @@ class ExperimentRunner {
   /// The instantiated evaluation suite (possibly limited).
   const std::vector<Dataset>& suite() const { return suite_; }
 
-  /// Runs one (system, dataset, budget, repetition). `cores` overrides
-  /// the config for the parallelism study; pass 0 to use the default.
+  /// Runs one (system, dataset, budget, repetition) attempt. `cores`
+  /// overrides the config for the parallelism study; pass 0 to use the
+  /// default. `cancel` (optional) is polled by the system's search loop;
+  /// `attempt` keys the fault-injection scope so each retry redraws its
+  /// probabilistic faults.
   Result<RunRecord> RunOne(const std::string& system_name,
                            const Dataset& dataset, double paper_budget,
-                           int repetition, int cores = 0);
+                           int repetition, int cores = 0,
+                           const CancelToken* cancel = nullptr,
+                           int attempt = 1);
+
+  /// Runs one cell through the full fault-tolerance path: the min-budget
+  /// gate (-> skipped), the retry policy for transient errors, and the
+  /// outcome taxonomy. Never fails — an errored cell comes back as a
+  /// non-ok record.
+  RunRecord RunCell(const std::string& system_name, const Dataset& dataset,
+                    double paper_budget, int repetition, int cores = 0,
+                    const CancelToken* cancel = nullptr);
 
   /// Full sweep over the suite for the given systems and budgets.
-  /// With config.jobs > 1 the cells execute on that many host worker
-  /// threads; run seeds are order-independent, so the records are
-  /// bit-identical to the sequential sweep and always emitted in
-  /// enumeration order (system, budget, dataset, repetition).
+  /// Returns one record per enumerated cell — including skipped, failed,
+  /// and timed-out cells — in enumeration order (system, budget, dataset,
+  /// repetition). With config.jobs > 1 the cells execute on that many
+  /// host worker threads; run seeds and fault draws are cell-local, so
+  /// the records are bit-identical to the sequential sweep.
+  ///
+  /// With config.journal_path set, each completed cell is appended to the
+  /// JSONL journal as it finishes; with config.resume additionally set,
+  /// cells already present in the journal are loaded instead of re-run,
+  /// and the returned stream is byte-identical to an uninterrupted sweep.
   Result<std::vector<RunRecord>> Sweep(
       const std::vector<std::string>& systems,
       const std::vector<double>& paper_budgets);
 
   /// Minimum supported paper budget, as declared by the system itself
   /// (AutoMlSystem::MinBudgetSeconds: 30 s for ASKL, 60 s for TPOT) —
-  /// used to skip unsupported points like the paper does. Unknown
-  /// systems report 0 (the sweep surfaces the NotFound per cell).
+  /// cells below it are recorded as `skipped` like the paper does.
+  /// Unknown systems report 0 (the cell surfaces the NotFound as failed).
   double MinBudget(const std::string& system_name) const;
 
   const ExperimentConfig& config() const { return config_; }
@@ -116,9 +203,19 @@ class ExperimentRunner {
     return last_sweep_wall_seconds_;
   }
 
+  /// Cells loaded from the journal (not re-run) in the most recent Sweep.
+  size_t last_sweep_resumed_cells() const {
+    return last_sweep_resumed_cells_;
+  }
+
   /// Builds a system instance; `budget` selects CAML(tuned) parameters.
   Result<std::unique_ptr<AutoMlSystem>> MakeSystem(
       const std::string& system_name, double paper_budget);
+
+  /// The runner's fault injector (seeded from config.seed and
+  /// config.faults). Exposed so benches can share it with subsystems
+  /// (e.g. PowercapReader).
+  const FaultInjector& fault_injector() const { return faults_; }
 
  private:
   Status EnsureMetaStore();
@@ -127,11 +224,12 @@ class ExperimentRunner {
   EnergyModel energy_model_;
   std::vector<Dataset> suite_;
   TunedConfigStore tuned_store_;
-  std::once_flag meta_once_;
-  Status meta_status_;
+  std::mutex meta_mutex_;
   std::unique_ptr<AsklMetaStore> meta_store_;
+  FaultInjector faults_;
   std::atomic<double> development_kwh_{0.0};
   double last_sweep_wall_seconds_ = 0.0;
+  size_t last_sweep_resumed_cells_ = 0;
 };
 
 }  // namespace green

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "green/common/logging.h"
 #include "green/common/stringutil.h"
 
 namespace green {
@@ -121,13 +122,16 @@ std::string RecordToJson(const RunRecord& record) {
       "\"execution_seconds\":%.10g,\"execution_kwh\":%.10g,"
       "\"inference_kwh_per_instance\":%.10g,"
       "\"inference_seconds_per_instance\":%.10g,\"num_pipelines\":%zu,"
-      "\"pipelines_evaluated\":%d,\"best_validation_score\":%.10g}",
+      "\"pipelines_evaluated\":%d,\"best_validation_score\":%.10g,"
+      "\"outcome\":\"%s\",\"error\":\"%s\",\"attempts\":%d}",
       Escape(record.system).c_str(), Escape(record.dataset).c_str(),
       record.paper_budget_seconds, record.repetition,
       record.test_balanced_accuracy, record.execution_seconds,
       record.execution_kwh, record.inference_kwh_per_instance,
       record.inference_seconds_per_instance, record.num_pipelines,
-      record.pipelines_evaluated, record.best_validation_score);
+      record.pipelines_evaluated, record.best_validation_score,
+      RunOutcomeName(record.outcome), Escape(record.error).c_str(),
+      record.attempts);
 }
 
 Result<RunRecord> RecordFromJson(const std::string& line) {
@@ -171,6 +175,17 @@ Result<RunRecord> RecordFromJson(const std::string& line) {
   GREEN_ASSIGN_OR_RETURN(std::string val,
                          ExtractField(line, "best_validation_score"));
   record.best_validation_score = std::strtod(val.c_str(), nullptr);
+  // Taxonomy fields are optional so files written before the outcome
+  // taxonomy existed still parse (as successful single-attempt cells).
+  Result<std::string> outcome = ExtractField(line, "outcome");
+  if (outcome.ok()) {
+    GREEN_ASSIGN_OR_RETURN(record.outcome, RunOutcomeFromName(*outcome));
+    GREEN_ASSIGN_OR_RETURN(record.error, ExtractField(line, "error"));
+    GREEN_ASSIGN_OR_RETURN(std::string attempts,
+                           ExtractField(line, "attempts"));
+    record.attempts =
+        static_cast<int>(std::strtol(attempts.c_str(), nullptr, 10));
+  }
   return record;
 }
 
@@ -207,20 +222,39 @@ Result<std::vector<RunRecord>> ReadRecordsJsonl(const std::string& path) {
   return records;
 }
 
+namespace {
+
+/// RFC 4180 quoting for the free-text CSV columns (error messages can
+/// contain commas and quotes).
+std::string CsvQuote(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string RecordsToCsv(const std::vector<RunRecord>& records) {
   std::string out =
       "system,dataset,budget_s,repetition,balanced_accuracy,"
       "execution_seconds,execution_kwh,inference_kwh_per_instance,"
       "inference_seconds_per_instance,num_pipelines,pipelines_evaluated,"
-      "best_validation_score\n";
+      "best_validation_score,outcome,error,attempts\n";
   for (const RunRecord& r : records) {
     out += StrFormat(
-        "%s,%s,%.6g,%d,%.10g,%.10g,%.10g,%.10g,%.10g,%zu,%d,%.10g\n",
-        r.system.c_str(), r.dataset.c_str(), r.paper_budget_seconds,
-        r.repetition, r.test_balanced_accuracy, r.execution_seconds,
-        r.execution_kwh, r.inference_kwh_per_instance,
-        r.inference_seconds_per_instance, r.num_pipelines,
-        r.pipelines_evaluated, r.best_validation_score);
+        "%s,%s,%.6g,%d,%.10g,%.10g,%.10g,%.10g,%.10g,%zu,%d,%.10g,%s,%s,"
+        "%d\n",
+        CsvQuote(r.system).c_str(), CsvQuote(r.dataset).c_str(),
+        r.paper_budget_seconds, r.repetition, r.test_balanced_accuracy,
+        r.execution_seconds, r.execution_kwh,
+        r.inference_kwh_per_instance, r.inference_seconds_per_instance,
+        r.num_pipelines, r.pipelines_evaluated, r.best_validation_score,
+        RunOutcomeName(r.outcome), CsvQuote(r.error).c_str(), r.attempts);
   }
   return out;
 }
@@ -234,6 +268,47 @@ Status WriteRecordsCsv(const std::vector<RunRecord>& records,
   std::fclose(f);
   if (written != text.size()) return Status::IoError("short write");
   return Status::Ok();
+}
+
+Status AppendRecordJsonl(const RunRecord& record, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const std::string line = RecordToJson(record) + "\n";
+  const size_t written = std::fwrite(line.data(), 1, line.size(), f);
+  if (written != line.size()) {
+    std::fclose(f);
+    return Status::IoError("short write to " + path);
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    return Status::IoError("flush failed for " + path);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Result<std::vector<RunRecord>> ReadJournalJsonl(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::vector<RunRecord>{};  // First run.
+  std::string text;
+  char buf[65536];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::vector<RunRecord> records;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    Result<RunRecord> record = RecordFromJson(line);
+    if (!record.ok()) {
+      // Expected after a crash: the final line may be half-written.
+      LogWarning("journal " + path + ": skipping unparseable line (" +
+                 record.status().ToString() + ")");
+      continue;
+    }
+    records.push_back(std::move(record).value());
+  }
+  return records;
 }
 
 }  // namespace green

@@ -29,6 +29,18 @@ std::string RecordsToCsv(const std::vector<RunRecord>& records);
 Status WriteRecordsCsv(const std::vector<RunRecord>& records,
                        const std::string& path);
 
+/// Appends one record to a JSONL journal: open, write one line, flush,
+/// close. One syscall-bounded append per completed sweep cell keeps the
+/// journal crash-consistent — a killed process loses at most the cell it
+/// was writing.
+Status AppendRecordJsonl(const RunRecord& record, const std::string& path);
+
+/// Reads a sweep journal for resume. Unlike ReadRecordsJsonl this is
+/// deliberately forgiving: a missing file is an empty journal (first
+/// run), and a trailing half-written line from a crash is skipped with a
+/// warning instead of failing the whole resume.
+Result<std::vector<RunRecord>> ReadJournalJsonl(const std::string& path);
+
 }  // namespace green
 
 #endif  // GREEN_BENCH_UTIL_RECORD_IO_H_

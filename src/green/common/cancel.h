@@ -1,0 +1,32 @@
+#ifndef GREEN_COMMON_CANCEL_H_
+#define GREEN_COMMON_CANCEL_H_
+
+#include <atomic>
+
+namespace green {
+
+/// Cooperative cancellation flag shared between a watchdog (or any other
+/// supervisor) and a running cell. The supervisor calls Cancel(); the
+/// workload polls cancelled() at its loop heads (via
+/// ExecutionContext::Cancelled) and winds down with a DeadlineExceeded
+/// status. Set-only and monotonic: once cancelled, a token stays
+/// cancelled.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace green
+
+#endif  // GREEN_COMMON_CANCEL_H_

@@ -1,0 +1,32 @@
+#ifndef GREEN_COMMON_RETRY_H_
+#define GREEN_COMMON_RETRY_H_
+
+#include "green/common/status.h"
+
+namespace green {
+
+/// Retry policy for transient per-cell failures in the experiment
+/// harness. Backoff is exponential with a deterministic schedule; the
+/// harness advances its *virtual* clock by BackoffSeconds rather than
+/// sleeping, so retries are free at wall-clock time and reproducible.
+struct RetryPolicy {
+  /// Total tries including the first. 1 disables retries.
+  int max_attempts = 2;
+  double initial_backoff_seconds = 0.5;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 30.0;
+
+  /// Backoff charged after failed attempt `attempt` (1-based):
+  /// min(initial * multiplier^(attempt-1), max).
+  double BackoffSeconds(int attempt) const;
+};
+
+/// Whether a failure class is worth retrying. Transient infrastructure
+/// errors (INTERNAL, IO_ERROR, RESOURCE_EXHAUSTED) are; semantic
+/// rejections (INVALID_ARGUMENT, UNIMPLEMENTED, ...) and deadline
+/// expiries are not — a timed-out cell would only time out again.
+bool IsRetryable(const Status& status);
+
+}  // namespace green
+
+#endif  // GREEN_COMMON_RETRY_H_

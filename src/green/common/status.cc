@@ -24,6 +24,8 @@ const char* CodeName(Status::Code code) {
       return "IO_ERROR";
     case Status::Code::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,7 @@ class Status {
     kInternal,
     kIoError,
     kResourceExhausted,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -49,6 +50,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -2,9 +2,12 @@
 
 #include <dirent.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
+#include "green/common/logging.h"
 #include "green/common/stringutil.h"
 
 namespace green {
@@ -63,21 +66,40 @@ Result<PowercapReader> PowercapReader::Discover(const std::string& root) {
   return PowercapReader(std::move(zones));
 }
 
+Result<double> PowercapReader::ReadCounterUj(size_t zone_index) const {
+  if (fault_injector_ != nullptr) {
+    GREEN_RETURN_IF_ERROR(fault_injector_->Check("powercap.read"));
+  }
+  GREEN_ASSIGN_OR_RETURN(std::string raw,
+                         ReadSmallFile(zones_[zone_index].energy_path));
+  return std::strtod(raw.c_str(), nullptr);
+}
+
 Result<double> PowercapReader::ReadZoneJoules(size_t zone_index) const {
   if (zone_index >= zones_.size()) {
     return Status::OutOfRange("zone index out of range");
   }
-  GREEN_ASSIGN_OR_RETURN(std::string raw,
-                         ReadSmallFile(zones_[zone_index].energy_path));
-  const double micro_joules = std::strtod(raw.c_str(), nullptr);
+  GREEN_ASSIGN_OR_RETURN(double micro_joules, ReadCounterUj(zone_index));
   return micro_joules * 1e-6;
 }
 
 Result<double> PowercapReader::ReadTotalJoules() const {
   double total = 0.0;
+  size_t readable = 0;
   for (size_t i = 0; i < zones_.size(); ++i) {
-    GREEN_ASSIGN_OR_RETURN(double j, ReadZoneJoules(i));
-    total += j;
+    auto joules = ReadZoneJoules(i);
+    if (!joules.ok()) {
+      // Hotplug or permission flip mid-run: drop the zone, keep the
+      // reading usable.
+      LogWarning("powercap: dropping zone " + zones_[i].name + ": " +
+                 joules.status().ToString());
+      continue;
+    }
+    total += joules.value();
+    ++readable;
+  }
+  if (readable == 0) {
+    return Status::IoError("no RAPL zone readable");
   }
   return total;
 }
@@ -92,12 +114,25 @@ double PowercapReader::WrapCorrectedDeltaUj(double prev_uj, double cur_uj,
 }
 
 Status PowercapReader::BeginInterval() {
+  // NaN marks a zone absent from this interval (its baseline could not
+  // be read); IntervalJoules then excludes it rather than computing a
+  // delta against garbage.
   std::vector<double> baseline;
   baseline.reserve(zones_.size());
+  size_t readable = 0;
   for (size_t i = 0; i < zones_.size(); ++i) {
-    GREEN_ASSIGN_OR_RETURN(std::string raw,
-                           ReadSmallFile(zones_[i].energy_path));
-    baseline.push_back(std::strtod(raw.c_str(), nullptr));
+    auto counter = ReadCounterUj(i);
+    if (!counter.ok()) {
+      LogWarning("powercap: zone " + zones_[i].name +
+                 " absent from interval: " + counter.status().ToString());
+      baseline.push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    baseline.push_back(counter.value());
+    ++readable;
+  }
+  if (readable == 0) {
+    return Status::IoError("no RAPL zone readable at interval start");
   }
   interval_baseline_uj_ = std::move(baseline);
   return Status::Ok();
@@ -109,12 +144,24 @@ Result<double> PowercapReader::IntervalJoules() const {
         "IntervalJoules without a matching BeginInterval");
   }
   double total_uj = 0.0;
+  size_t contributed = 0;
   for (size_t i = 0; i < zones_.size(); ++i) {
-    GREEN_ASSIGN_OR_RETURN(std::string raw,
-                           ReadSmallFile(zones_[i].energy_path));
-    const double cur_uj = std::strtod(raw.c_str(), nullptr);
-    total_uj += WrapCorrectedDeltaUj(interval_baseline_uj_[i], cur_uj,
+    if (std::isnan(interval_baseline_uj_[i])) continue;  // No baseline.
+    auto counter = ReadCounterUj(i);
+    if (!counter.ok()) {
+      // The zone disappeared mid-interval: its partial energy is lost,
+      // but the other zones' deltas are still valid.
+      LogWarning("powercap: dropping zone " + zones_[i].name +
+                 " mid-interval: " + counter.status().ToString());
+      continue;
+    }
+    total_uj += WrapCorrectedDeltaUj(interval_baseline_uj_[i],
+                                     counter.value(),
                                      zones_[i].max_energy_range_uj);
+    ++contributed;
+  }
+  if (contributed == 0) {
+    return Status::IoError("no RAPL zone contributed to the interval");
   }
   return total_uj * 1e-6;
 }

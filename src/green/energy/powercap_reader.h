@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "green/common/fault.h"
 #include "green/common/status.h"
 
 namespace green {
@@ -35,10 +36,15 @@ class PowercapReader {
   /// max_energy_range_uj — use the interval API for deltas).
   Result<double> ReadZoneJoules(size_t zone_index) const;
 
-  /// Sum over all discovered zones, in Joules. Raw counters, see above.
+  /// Sum over readable zones, in Joules. Raw counters, see above. A zone
+  /// whose sysfs file has become unreadable (hotplug, permission flip)
+  /// is dropped with a warning; only all zones failing is an error.
   Result<double> ReadTotalJoules() const;
 
   /// Snapshots every zone counter, delimiting a measurement interval.
+  /// Zones that fail to read are marked absent from the interval (with a
+  /// warning) instead of failing the snapshot; errors only when no zone
+  /// at all is readable.
   Status BeginInterval();
 
   /// Wrap-corrected Joules consumed across all zones since the last
@@ -47,7 +53,18 @@ class PowercapReader {
   /// goes negative, so each zone delta is corrected by its range. A
   /// counter wrapping more than once per interval is undetectable —
   /// callers should sample at least every few minutes.
+  ///
+  /// Degrades per zone: a zone that disappeared mid-interval (or had no
+  /// baseline) contributes nothing, with a warning. Only every zone
+  /// failing is an error.
   Result<double> IntervalJoules() const;
+
+  /// Optional fault injection (site `powercap.read`, applied to every
+  /// zone-counter read) for exercising the degradation paths in tests.
+  /// The injector must outlive the reader; nullptr disables.
+  void set_fault_injector(const FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
 
   /// Delta between two cumulative microjoule readings of a counter that
   /// wraps at `max_range_uj`: adds one wrap when cur < prev. With an
@@ -60,8 +77,12 @@ class PowercapReader {
   explicit PowercapReader(std::vector<Zone> zones)
       : zones_(std::move(zones)) {}
 
+  /// One zone counter read with fault injection applied.
+  Result<double> ReadCounterUj(size_t zone_index) const;
+
   std::vector<Zone> zones_;
   std::vector<double> interval_baseline_uj_;  ///< Set by BeginInterval.
+  const FaultInjector* fault_injector_ = nullptr;  // Not owned.
 };
 
 }  // namespace green

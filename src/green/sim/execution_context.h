@@ -3,6 +3,7 @@
 
 #include <limits>
 
+#include "green/common/cancel.h"
 #include "green/energy/energy_meter.h"
 #include "green/energy/energy_model.h"
 #include "green/sim/virtual_clock.h"
@@ -45,6 +46,13 @@ class ExecutionContext {
   bool DeadlineExceeded() const { return clock_->Now() >= deadline_; }
   double RemainingBudget() const { return deadline_ - clock_->Now(); }
 
+  /// Cooperative cancellation: a watchdog holds the token and flips it
+  /// when a cell overruns its wall-clock allowance; search loops poll
+  /// Cancelled() at their heads and unwind with DEADLINE_EXCEEDED.
+  void SetCancelToken(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
+  bool Cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
+
   /// Attaches/detaches the meter that receives dynamic-energy records.
   void SetMeter(EnergyMeter* meter) { meter_ = meter; }
   EnergyMeter* meter() const { return meter_; }
@@ -62,6 +70,7 @@ class ExecutionContext {
   VirtualClock* clock_;       // Not owned.
   const EnergyModel* model_;  // Not owned.
   EnergyMeter* meter_ = nullptr;
+  const CancelToken* cancel_ = nullptr;  // Not owned.
   int cores_;
   double deadline_ = std::numeric_limits<double>::infinity();
   WorkCounter counter_;

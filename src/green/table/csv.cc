@@ -54,15 +54,36 @@ Result<Dataset> FromCsvString(const std::string& text,
     }
     std::vector<double> row(num_features);
     for (size_t j = 0; j < num_features; ++j) {
-      const std::string_view f = Trim(fields[j]);
-      row[j] = f.empty() ? NAN : std::strtod(std::string(f).c_str(), nullptr);
+      const std::string f(Trim(fields[j]));
+      if (f.empty()) {
+        row[j] = NAN;  // Missing value.
+        continue;
+      }
+      // Strict parse: the whole field must be consumed, so "12abc" or
+      // "hello" in a numeric column is an error instead of a silent 0.
+      char* end = nullptr;
+      row[j] = std::strtod(f.c_str(), &end);
+      if (end == f.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("non-numeric value '%s' in column %zu on line %zu",
+                      f.c_str(), j, li));
+      }
     }
-    const int label =
-        static_cast<int>(std::strtol(fields.back().c_str(), nullptr, 10));
-    if (label < 0) {
+    const std::string label_field(Trim(fields.back()));
+    char* label_end = nullptr;
+    const long parsed_label =
+        std::strtol(label_field.c_str(), &label_end, 10);
+    if (label_field.empty() || label_end == label_field.c_str() ||
+        *label_end != '\0') {
       return Status::InvalidArgument(
-          StrFormat("negative label on line %zu", li));
+          StrFormat("non-integer label '%s' on line %zu",
+                    label_field.c_str(), li));
     }
+    if (parsed_label < 0 || parsed_label > 1000000L) {
+      return Status::InvalidArgument(
+          StrFormat("label out of range on line %zu", li));
+    }
+    const int label = static_cast<int>(parsed_label);
     max_label = std::max(max_label, label);
     rows.push_back(std::move(row));
     labels.push_back(label);

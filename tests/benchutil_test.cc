@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "green/bench_util/aggregate.h"
 #include "green/bench_util/experiment.h"
 #include "green/bench_util/record_io.h"
 #include "green/bench_util/table_printer.h"
+#include "green/common/cancel.h"
+#include "green/common/fault.h"
+#include "green/common/retry.h"
 
 namespace green {
 namespace {
@@ -153,16 +160,26 @@ TEST_F(RunnerTest, RepetitionsDiffer) {
   EXPECT_FALSE(all_equal);
 }
 
-TEST_F(RunnerTest, SweepSkipsUnsupportedBudgets) {
+TEST_F(RunnerTest, SweepRecordsUnsupportedBudgetsAsSkipped) {
   ExperimentConfig config = SmallConfig();
   config.dataset_limit = 1;
   ExperimentRunner runner(config);
+  // TPOT's minimum budget is 60 s: the 10 s cells are enumerated but
+  // recorded as skipped — no cell silently disappears from the stream.
   auto records = runner.Sweep({"tpot"}, {10.0, 60.0});
   ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);  // 1 dataset x 2 budgets x 1 rep.
   for (const RunRecord& r : *records) {
-    EXPECT_EQ(r.paper_budget_seconds, 60.0);
+    if (r.paper_budget_seconds == 10.0) {
+      EXPECT_EQ(r.outcome, RunOutcome::kSkipped);
+      EXPECT_EQ(r.attempts, 0);
+      EXPECT_NE(r.error.find("below system minimum"), std::string::npos);
+    } else {
+      EXPECT_EQ(r.outcome, RunOutcome::kOk);
+      EXPECT_GT(r.test_balanced_accuracy, 0.0);
+    }
   }
-  EXPECT_FALSE(records->empty());
+  EXPECT_EQ(OkOnly(*records).size(), 1u);
 }
 
 TEST_F(RunnerTest, TabPfnSweepCollapsesBudgets) {
@@ -259,6 +276,379 @@ TEST_F(RunnerTest, ConfigFromEnvDefaultsToFast) {
   const ExperimentConfig config = ExperimentConfig::FromEnv();
   EXPECT_GT(config.dataset_limit, 0u);  // Fast subset unless GREEN_FULL.
   EXPECT_GT(config.budget_scale, 0.0);
+}
+
+// --- env parser edge cases ---
+
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (had_value_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(EnvParserTest, JobsEmptyGarbageOverflow) {
+  {
+    EnvGuard guard("GREEN_JOBS", nullptr);
+    EXPECT_EQ(JobsFromEnv(), 1);
+  }
+  {
+    EnvGuard guard("GREEN_JOBS", "");
+    EXPECT_EQ(JobsFromEnv(), 1);
+  }
+  {
+    EnvGuard guard("GREEN_JOBS", "banana");
+    EXPECT_EQ(JobsFromEnv(), 1);
+  }
+  {
+    EnvGuard guard("GREEN_JOBS", "4x");  // Trailing garbage.
+    EXPECT_EQ(JobsFromEnv(), 1);
+  }
+  {
+    // LONG_MAX-scale input must clamp, not overflow the int cast.
+    EnvGuard guard("GREEN_JOBS", "99999999999999999999");
+    EXPECT_EQ(JobsFromEnv(), 4096);
+  }
+  {
+    EnvGuard guard("GREEN_JOBS", "-17");
+    EXPECT_EQ(JobsFromEnv(), 1);
+  }
+  {
+    EnvGuard guard("GREEN_JOBS", "3");
+    EXPECT_EQ(JobsFromEnv(), 3);
+  }
+  {
+    EnvGuard guard("GREEN_JOBS", "0");
+    EXPECT_GE(JobsFromEnv(), 1);  // Hardware concurrency.
+  }
+}
+
+TEST(EnvParserTest, FaultsAndJournalPassThrough) {
+  {
+    EnvGuard faults("GREEN_FAULTS", nullptr);
+    EnvGuard journal("GREEN_JOURNAL", nullptr);
+    EXPECT_EQ(FaultsFromEnv(), "");
+    EXPECT_EQ(JournalFromEnv(), "");
+  }
+  {
+    EnvGuard faults("GREEN_FAULTS", "run.fit@0.5");
+    EnvGuard journal("GREEN_JOURNAL", "/tmp/journal.jsonl");
+    EXPECT_EQ(FaultsFromEnv(), "run.fit@0.5");
+    EXPECT_EQ(JournalFromEnv(), "/tmp/journal.jsonl");
+  }
+  {
+    // A garbage GREEN_FAULTS must not break startup: Lenient drops the
+    // bad clauses and keeps the good ones.
+    const FaultInjector injector = FaultInjector::Lenient(
+        "garbage, run.fit@2.0, run.fit#0, @0.5, run.fit#3", 1);
+    EXPECT_EQ(injector.size(), 1u);  // Only run.fit#3 survives.
+  }
+}
+
+TEST(EnvParserTest, RetriesAndCellTimeout) {
+  const int fallback = RetryPolicy().max_attempts;
+  {
+    EnvGuard guard("GREEN_RETRIES", nullptr);
+    EXPECT_EQ(RetriesFromEnv(), fallback);
+  }
+  {
+    EnvGuard guard("GREEN_RETRIES", "nope");
+    EXPECT_EQ(RetriesFromEnv(), fallback);
+  }
+  {
+    EnvGuard guard("GREEN_RETRIES", "99999999999999999999");
+    EXPECT_EQ(RetriesFromEnv(), 100);  // Clamped.
+  }
+  {
+    EnvGuard guard("GREEN_RETRIES", "-2");
+    EXPECT_EQ(RetriesFromEnv(), 1);  // Clamped: at least one attempt.
+  }
+  {
+    EnvGuard guard("GREEN_RETRIES", "5");
+    EXPECT_EQ(RetriesFromEnv(), 5);
+  }
+  {
+    EnvGuard guard("GREEN_CELL_TIMEOUT", nullptr);
+    EXPECT_EQ(CellTimeoutFromEnv(), 0.0);
+  }
+  {
+    EnvGuard guard("GREEN_CELL_TIMEOUT", "abc");
+    EXPECT_EQ(CellTimeoutFromEnv(), 0.0);
+  }
+  {
+    EnvGuard guard("GREEN_CELL_TIMEOUT", "-5");
+    EXPECT_EQ(CellTimeoutFromEnv(), 0.0);
+  }
+  {
+    EnvGuard guard("GREEN_CELL_TIMEOUT", "2.5");
+    EXPECT_EQ(CellTimeoutFromEnv(), 2.5);
+  }
+  {
+    EnvGuard resume("GREEN_RESUME", "1");
+    EXPECT_TRUE(ResumeFromEnv());
+  }
+  {
+    EnvGuard resume("GREEN_RESUME", "0");
+    EXPECT_FALSE(ResumeFromEnv());
+  }
+}
+
+// --- fault tolerance ---
+
+class FaultyRunnerTest : public RunnerTest {};
+
+TEST_F(FaultyRunnerTest, AlwaysFiringFaultFailsEveryCellAfterRetries) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 1;
+  config.faults = "run.fit@1.0";
+  config.retry.max_attempts = 2;
+  ExperimentRunner runner(config);
+  auto records = runner.Sweep({"caml"}, {10.0, 30.0});
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+  for (const RunRecord& r : *records) {
+    EXPECT_EQ(r.outcome, RunOutcome::kFailed);
+    EXPECT_EQ(r.attempts, 2);  // Retried, then gave up.
+    EXPECT_NE(r.error.find("injected fault"), std::string::npos);
+  }
+  EXPECT_TRUE(OkOnly(*records).empty());
+}
+
+TEST_F(FaultyRunnerTest, ExactlyKCellsFailWithCorrectTaxonomy) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 2;
+  config.repetitions = 2;
+  // Two single-shot faults with different kinds; retries disabled so
+  // the taxonomy is visible in the records.
+  config.faults = "run.fit#2,run.fit#4=timeout";
+  config.retry.max_attempts = 1;
+  ExperimentRunner runner(config);
+  auto records = runner.Sweep({"caml"}, {10.0, 30.0});
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 8u);  // 2 datasets x 2 budgets x 2 reps.
+  size_t failed = 0, timeouts = 0;
+  for (const RunRecord& r : *records) {
+    if (r.outcome == RunOutcome::kFailed) ++failed;
+    if (r.outcome == RunOutcome::kTimeout) ++timeouts;
+  }
+  EXPECT_EQ(failed, 1u);
+  EXPECT_EQ(timeouts, 1u);
+  EXPECT_EQ(OkOnly(*records).size(), 6u);
+
+  const std::string summary = RenderFailureSummary(*records);
+  EXPECT_NE(summary.find("caml"), std::string::npos);
+  const auto counts = CountOutcomes(*records);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].second.ok, 6u);
+  EXPECT_EQ(counts[0].second.failed, 1u);
+  EXPECT_EQ(counts[0].second.timeout, 1u);
+}
+
+TEST_F(FaultyRunnerTest, RetryRecoversSingleShotFault) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 2;
+  config.faults = "run.fit#2";  // Transient: fires once, ever.
+  config.retry.max_attempts = 2;
+  ExperimentRunner runner(config);
+  auto records = runner.Sweep({"caml"}, {10.0, 30.0});
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 4u);
+  int retried_cells = 0;
+  for (const RunRecord& r : *records) {
+    EXPECT_EQ(r.outcome, RunOutcome::kOk);
+    if (r.attempts == 2) ++retried_cells;
+  }
+  EXPECT_EQ(retried_cells, 1);  // Exactly the cell that drew the fault.
+}
+
+TEST_F(FaultyRunnerTest, ProbabilisticFaultsIdenticalAcrossJobCounts) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 2;
+  config.repetitions = 2;
+  config.faults = "run.fit@0.5";
+  config.retry.max_attempts = 2;
+  ExperimentRunner sequential(config);
+  auto seq = sequential.Sweep({"caml", "flaml"}, {10.0, 30.0});
+  ASSERT_TRUE(seq.ok());
+
+  config.jobs = 4;
+  ExperimentRunner parallel(config);
+  auto par = parallel.Sweep({"caml", "flaml"}, {10.0, 30.0});
+  ASSERT_TRUE(par.ok());
+
+  // Probabilistic draws are keyed by (cell, attempt), never by thread
+  // interleaving: the faulty sweep is as reproducible as a clean one.
+  ASSERT_EQ(seq->size(), par->size());
+  bool any_failed = false;
+  for (size_t i = 0; i < seq->size(); ++i) {
+    EXPECT_EQ(RecordToJson((*seq)[i]), RecordToJson((*par)[i])) << i;
+    any_failed |= (*seq)[i].outcome != RunOutcome::kOk;
+  }
+  EXPECT_TRUE(any_failed);  // p=0.5 over 16 cells: some must draw it.
+}
+
+TEST_F(FaultyRunnerTest, PreCancelledCellRecordsTimeout) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 1;
+  ExperimentRunner runner(config);
+  CancelToken cancelled;
+  cancelled.Cancel();
+  for (const std::string& system :
+       {std::string("caml"), std::string("flaml"), std::string("tabpfn"),
+        std::string("autogluon"), std::string("random_search")}) {
+    const RunRecord record = runner.RunCell(
+        system, runner.suite()[0], 60.0, 0, /*cores=*/0, &cancelled);
+    EXPECT_EQ(record.outcome, RunOutcome::kTimeout) << system;
+    EXPECT_NE(record.error.find("cancelled"), std::string::npos)
+        << system;
+  }
+}
+
+TEST_F(FaultyRunnerTest, WatchdogSweepAlwaysTerminates) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 1;
+  config.cell_timeout_seconds = 1e-6;  // Cancels anything measurable.
+  ExperimentRunner runner(config);
+  auto records = runner.Sweep({"caml"}, {300.0});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  // A cancelled cell is a recorded timeout, never a stuck sweep. (A cell
+  // can still finish before the watchdog's first scan; both outcomes
+  // are legal, hanging is not.)
+  EXPECT_TRUE((*records)[0].outcome == RunOutcome::kOk ||
+              (*records)[0].outcome == RunOutcome::kTimeout);
+}
+
+TEST_F(FaultyRunnerTest, MetaStoreBuildFailureRecoversOnRetry) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 1;
+  config.faults = "askl.metastore.build#1";
+  config.retry.max_attempts = 2;
+  ExperimentRunner runner(config);
+  // Attempt 1 hits the injected build failure; the store must NOT be
+  // poisoned — attempt 2 rebuilds and succeeds.
+  const RunRecord record =
+      runner.RunCell("autosklearn2", runner.suite()[0], 30.0, 0);
+  EXPECT_EQ(record.outcome, RunOutcome::kOk);
+  EXPECT_EQ(record.attempts, 2);
+  EXPECT_GT(runner.development_kwh(), 0.0);
+}
+
+// --- journal / resume ---
+
+class JournalTest : public RunnerTest {
+ protected:
+  static std::string JournalPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(JournalTest, SweepWritesJournalMatchingRecords) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 1;
+  config.journal_path = JournalPath("journal_basic.jsonl");
+  ExperimentRunner runner(config);
+  auto records = runner.Sweep({"caml"}, {10.0, 30.0});
+  ASSERT_TRUE(records.ok());
+
+  auto journaled = ReadJournalJsonl(config.journal_path);
+  ASSERT_TRUE(journaled.ok());
+  ASSERT_EQ(journaled->size(), records->size());
+  // Journal lines round-trip to the records byte-identically (order may
+  // differ under parallel sweeps; here jobs=1 keeps it aligned).
+  for (size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ(RecordToJson((*journaled)[i]), RecordToJson((*records)[i]));
+  }
+  std::remove(config.journal_path.c_str());
+}
+
+TEST_F(JournalTest, ResumeLoadsInsteadOfRerunning) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 1;
+  config.journal_path = JournalPath("journal_resume.jsonl");
+  ExperimentRunner first(config);
+  auto original = first.Sweep({"caml"}, {10.0, 30.0});
+  ASSERT_TRUE(original.ok());
+
+  // Resume over a COMPLETE journal with an always-firing fault: if any
+  // cell were re-run it would come back failed, so all-ok proves every
+  // cell was loaded from the journal.
+  config.resume = true;
+  config.faults = "run.fit@1.0";
+  ExperimentRunner second(config);
+  auto resumed = second.Sweep({"caml"}, {10.0, 30.0});
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_EQ(resumed->size(), original->size());
+  for (size_t i = 0; i < resumed->size(); ++i) {
+    EXPECT_EQ((*resumed)[i].outcome, RunOutcome::kOk);
+    EXPECT_EQ(RecordToJson((*resumed)[i]), RecordToJson((*original)[i]));
+  }
+  EXPECT_EQ(second.last_sweep_resumed_cells(), original->size());
+  std::remove(config.journal_path.c_str());
+}
+
+TEST_F(JournalTest, AbortedSweepResumesByteIdentical) {
+  ExperimentConfig config = SmallConfig();
+  config.dataset_limit = 2;
+  config.journal_path = JournalPath("journal_abort.jsonl");
+  std::remove(config.journal_path.c_str());
+
+  // Reference: the same sweep uninterrupted, without a journal.
+  ExperimentConfig ref_config = config;
+  ref_config.journal_path.clear();
+  ExperimentRunner reference(ref_config);
+  auto expected = reference.Sweep({"caml"}, {10.0, 30.0});
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), 4u);
+
+  // Kill the sweep on its third cell via an injected abort. The death
+  // test's child process journals the first two cells, then dies.
+  ExperimentConfig crash_config = config;
+  crash_config.faults = "sweep.cell#3=abort";
+  EXPECT_DEATH(
+      {
+        ExperimentRunner crashing(crash_config);
+        (void)crashing.Sweep({"caml"}, {10.0, 30.0});
+      },
+      "injected abort");
+
+  auto journaled = ReadJournalJsonl(config.journal_path);
+  ASSERT_TRUE(journaled.ok());
+  EXPECT_EQ(journaled->size(), 2u);
+
+  // Restart with --resume: only the missing cells run; the record
+  // stream is byte-identical to the uninterrupted sweep.
+  ExperimentConfig resume_config = config;
+  resume_config.resume = true;
+  ExperimentRunner resumed(resume_config);
+  auto records = resumed.Sweep({"caml"}, {10.0, 30.0});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), expected->size());
+  for (size_t i = 0; i < records->size(); ++i) {
+    EXPECT_EQ(RecordToJson((*records)[i]), RecordToJson((*expected)[i]))
+        << i;
+  }
+  EXPECT_EQ(resumed.last_sweep_resumed_cells(), 2u);
+  std::remove(config.journal_path.c_str());
 }
 
 }  // namespace

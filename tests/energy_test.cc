@@ -281,8 +281,12 @@ TEST(PowercapTest, WrapCorrectedDelta) {
 // Fake sysfs tree exercising Discover + the wrap-corrected interval API.
 class PowercapFakeSysfsTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    root_ = ::testing::TempDir() + "/powercap_fake";
+  void SetUp() override { SetUpRoot("powercap_fake"); }
+
+  // Each fixture gets its own root: TempDir persists across test runs,
+  // so a shared tree would leak zones between fixtures.
+  void SetUpRoot(const std::string& subdir) {
+    root_ = ::testing::TempDir() + "/" + subdir;
     zone_ = root_ + "/intel-rapl:0";
     ASSERT_EQ(mkdir(root_.c_str(), 0755) == 0 || errno == EEXIST, true);
     ASSERT_EQ(mkdir(zone_.c_str(), 0755) == 0 || errno == EEXIST, true);
@@ -330,6 +334,80 @@ TEST_F(PowercapFakeSysfsTest, IntervalWithoutBeginFails) {
   auto reader = PowercapReader::Discover(root_);
   ASSERT_TRUE(reader.ok());
   EXPECT_FALSE(reader->IntervalJoules().ok());
+}
+
+// Second zone for the degradation tests.
+class PowercapTwoZoneTest : public PowercapFakeSysfsTest {
+ protected:
+  void SetUp() override {
+    SetUpRoot("powercap_fake_two_zone");
+    zone1_ = root_ + "/intel-rapl:1";
+    ASSERT_EQ(mkdir(zone1_.c_str(), 0755) == 0 || errno == EEXIST, true);
+    WriteFile(zone1_ + "/name", "dram\n");
+    WriteFile(zone1_ + "/max_energy_range_uj", "2000000\n");
+    WriteFile(zone1_ + "/energy_uj", "100000\n");
+  }
+
+  std::string zone1_;
+};
+
+TEST_F(PowercapTwoZoneTest, ZoneVanishingMidIntervalDegradesGracefully) {
+  auto reader = PowercapReader::Discover(root_);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->zones().size(), 2u);
+  ASSERT_TRUE(reader->BeginInterval().ok());
+  // One zone advances; the other's counter file disappears (hotplug,
+  // permission flip). The interval must still report the surviving
+  // zone's energy instead of failing the whole measurement.
+  WriteFile(zone_ + "/energy_uj", "1400000\n");
+  ASSERT_EQ(std::remove((zone1_ + "/energy_uj").c_str()), 0);
+  auto delta = reader->IntervalJoules();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_DOUBLE_EQ(*delta, 0.4);  // Only zone 0's 4e5 uJ.
+}
+
+TEST_F(PowercapTwoZoneTest, ZoneAbsentAtIntervalStartIsExcluded) {
+  auto reader = PowercapReader::Discover(root_);
+  ASSERT_TRUE(reader.ok());
+  // Zone 1 is already gone when the interval begins: no baseline, so it
+  // must not contribute even if it reappears before the read-back.
+  ASSERT_EQ(std::remove((zone1_ + "/energy_uj").c_str()), 0);
+  ASSERT_TRUE(reader->BeginInterval().ok());
+  WriteFile(zone_ + "/energy_uj", "1200000\n");
+  WriteFile(zone1_ + "/energy_uj", "900000\n");  // Reappears: ignored.
+  auto delta = reader->IntervalJoules();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_DOUBLE_EQ(*delta, 0.2);
+}
+
+TEST_F(PowercapTwoZoneTest, AllZonesGoneIsAnError) {
+  auto reader = PowercapReader::Discover(root_);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader->BeginInterval().ok());
+  ASSERT_EQ(std::remove((zone_ + "/energy_uj").c_str()), 0);
+  ASSERT_EQ(std::remove((zone1_ + "/energy_uj").c_str()), 0);
+  EXPECT_FALSE(reader->IntervalJoules().ok());
+  EXPECT_FALSE(reader->ReadTotalJoules().ok());
+  EXPECT_FALSE(reader->BeginInterval().ok());
+}
+
+TEST_F(PowercapTwoZoneTest, InjectedReadFaultsExerciseDegradation) {
+  auto reader = PowercapReader::Discover(root_);
+  ASSERT_TRUE(reader.ok());
+  const FaultInjector always =
+      FaultInjector::Lenient("powercap.read@1.0", 9);
+  reader->set_fault_injector(&always);
+  EXPECT_FALSE(reader->ReadTotalJoules().ok());  // Every read fails.
+  reader->set_fault_injector(nullptr);
+  EXPECT_TRUE(reader->ReadTotalJoules().ok());  // Recovers when cleared.
+
+  // A single-shot fault kills exactly one zone read; the total degrades
+  // to the surviving zone instead of erroring.
+  const FaultInjector once = FaultInjector::Lenient("powercap.read#1", 9);
+  reader->set_fault_injector(&once);
+  auto total = reader->ReadTotalJoules();
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ(*total, 0.1);  // Zone 1 only: 1e5 uJ.
 }
 
 // --- CO2 ---

@@ -225,6 +225,55 @@ TEST(CsvTest, RejectsMalformed) {
   EXPECT_FALSE(FromCsvString("a,label\n1,-3\n", "x").ok());  // Neg label.
 }
 
+TEST(CsvTest, RejectsNonNumericCells) {
+  // A word where a number belongs must be an error, not a silent 0.
+  auto parsed = FromCsvString("a,b,label\n1,hello,0\n", "x");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("non-numeric"),
+            std::string::npos);
+  // Trailing garbage after a valid prefix is equally hostile.
+  EXPECT_FALSE(FromCsvString("a,label\n12abc,0\n", "x").ok());
+  EXPECT_FALSE(FromCsvString("a,label\n1e,0\n", "x").ok());
+  // Scientific notation and signs are legitimate numbers.
+  auto fine = FromCsvString("a,b,label\n-1.5e3,+2,1\n", "x");
+  ASSERT_TRUE(fine.ok());
+  EXPECT_DOUBLE_EQ(fine->At(0, 0), -1500.0);
+}
+
+TEST(CsvTest, RejectsGarbageLabels) {
+  auto parsed = FromCsvString("a,label\n1,yes\n", "x");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("non-integer label"),
+            std::string::npos);
+  EXPECT_FALSE(FromCsvString("a,label\n1,2x\n", "x").ok());
+  EXPECT_FALSE(FromCsvString("a,label\n1,\n", "x").ok());  // Empty label.
+  EXPECT_FALSE(FromCsvString("a,label\n1,99999999\n", "x").ok());  // Range.
+  EXPECT_FALSE(
+      FromCsvString("a,label\n1,99999999999999999999\n", "x").ok());
+}
+
+TEST(CsvTest, RejectsTruncatedAndRaggedRows) {
+  // A file cut off mid-row (e.g. interrupted download) must error.
+  EXPECT_FALSE(FromCsvString("a,b,label\n1,2,0\n3,4", "x").ok());
+  // Ragged rows: wrong field count either way.
+  EXPECT_FALSE(FromCsvString("a,b,label\n1,2,0\n1,2,3,0\n", "x").ok());
+  EXPECT_FALSE(FromCsvString("a,b,label\n1,2,0\n1,0\n", "x").ok());
+  // Trailing newline and blank lines between rows are fine.
+  auto ok = FromCsvString("a,label\n1,0\n\n2,1\n\n", "x");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_rows(), 2u);
+}
+
+TEST(CsvTest, HeaderOnlyAndWhitespaceFiles) {
+  EXPECT_FALSE(FromCsvString("\n\n\n", "x").ok());
+  EXPECT_FALSE(FromCsvString("   \n", "x").ok());
+  // Missing feature values (empty cells) are NaN, not errors.
+  auto parsed = FromCsvString("a,b,label\n,2,0\n1,,1\n", "x");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(std::isnan(parsed->At(0, 0)));
+  EXPECT_TRUE(std::isnan(parsed->At(1, 1)));
+}
+
 TEST(CsvTest, FileRoundTrip) {
   const Dataset data = TinyDataset();
   const std::string path = ::testing::TempDir() + "/green_csv_test.csv";
