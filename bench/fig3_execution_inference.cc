@@ -3,6 +3,7 @@
 // system. Reported numbers are scaled back to paper scale; see DESIGN.md.
 
 #include <cstdio>
+#include <cstring>
 
 #include "green/bench_util/aggregate.h"
 #include "green/bench_util/experiment.h"
@@ -12,8 +13,16 @@
 namespace green {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
   ExperimentConfig config = ExperimentConfig::FromEnv();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--breakdown") == 0) {
+      config.collect_scopes = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
   ExperimentRunner runner(config);
 
   const std::vector<std::string> systems = {
@@ -96,10 +105,18 @@ int Main() {
                       StrFormat("%.5f", ComputeStats(per_dataset).stddev)});
   }
   std_table.Print();
+
+  if (config.collect_scopes) {
+    PrintBanner("Per-operator energy attribution (--breakdown)");
+    const std::string breakdown = RenderEnergyBreakdown(*sweep);
+    std::printf("%s", breakdown.empty()
+                          ? "(no scope data collected)\n"
+                          : breakdown.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace green
 
-int main() { return green::Main(); }
+int main(int argc, char** argv) { return green::Main(argc, argv); }

@@ -4,10 +4,11 @@
 //
 //   green_automl_cli [--system NAME] [--budget SECONDS] [--csv FILE]
 //                    [--cores N] [--jobs N] [--constraint SECONDS_PER_ROW]
-//                    [--json OUT.jsonl]
+//                    [--json OUT.jsonl] [--breakdown]
 //                    [--sweep SYS1,SYS2,...] [--budgets B1,B2,...]
 //                    [--journal PATH] [--resume] [--retries N]
 //                    [--cell-timeout SECONDS] [--faults SPEC]
+//                    [--compact-journal PATH]
 //
 //   --system      tabpfn | caml | caml_tuned | flaml | autogluon |
 //                 autogluon_refit | autosklearn1 | autosklearn2 | tpot |
@@ -20,6 +21,9 @@
 //                 hardware threads (default: $GREEN_JOBS, else 1)
 //   --constraint  max inference seconds per instance (CAML only)
 //   --json        append the run record to a JSON-lines file
+//   --breakdown   collect per-scope energy attribution and print the
+//                 hierarchical breakdown table (also: GREEN_SCOPES=1);
+//                 exported records then carry a "scopes" field
 //
 // Sweep mode (fault-tolerant, journaled):
 //   --sweep         comma-separated system list; runs a full suite sweep
@@ -36,6 +40,10 @@
 //                   off (default: $GREEN_CELL_TIMEOUT)
 //   --faults        fault-injection spec, e.g. "run.fit@0.05"
 //                   (default: $GREEN_FAULTS; see common/fault.h)
+//
+// Maintenance:
+//   --compact-journal PATH  rewrite a sweep journal keeping only the
+//                           last record per cell, then exit
 
 #include <algorithm>
 #include <cstdio>
@@ -92,6 +100,8 @@ int SweepMain(const std::string& sweep_systems,
 
   const std::string failures = RenderFailureSummary(*records);
   if (!failures.empty()) std::printf("%s", failures.c_str());
+  const std::string breakdown = RenderEnergyBreakdown(*records);
+  if (!breakdown.empty()) std::printf("%s", breakdown.c_str());
   const std::vector<RunRecord> measured = OkOnly(*records);
   std::printf("sweep complete: %zu/%zu cells measured ok\n",
               measured.size(), records->size());
@@ -124,6 +134,8 @@ int Main(int argc, char** argv) {
   int retries = RetriesFromEnv();
   double cell_timeout = CellTimeoutFromEnv();
   std::string faults = FaultsFromEnv();
+  bool breakdown = ScopesFromEnv();
+  std::string compact_path;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -158,10 +170,26 @@ int Main(int argc, char** argv) {
       cell_timeout = std::max(0.0, std::atof(next()));
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       faults = next();
+    } else if (std::strcmp(argv[i], "--breakdown") == 0) {
+      breakdown = true;
+    } else if (std::strcmp(argv[i], "--compact-journal") == 0) {
+      compact_path = next();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
+  }
+
+  if (!compact_path.empty()) {
+    auto removed = CompactJournalJsonl(compact_path);
+    if (!removed.ok()) {
+      std::fprintf(stderr, "compaction failed: %s\n",
+                   removed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("journal %s compacted: %zu superseded record(s) removed\n",
+                compact_path.c_str(), *removed);
+    return 0;
   }
 
   ExperimentConfig config;
@@ -173,6 +201,7 @@ int Main(int argc, char** argv) {
   config.retry.max_attempts = retries;
   config.cell_timeout_seconds = cell_timeout;
   config.faults = faults;
+  config.collect_scopes = breakdown;
 
   if (!sweep_systems.empty()) {
     return SweepMain(sweep_systems, budgets_arg, config, json_path);
@@ -227,6 +256,11 @@ int Main(int argc, char** argv) {
               record->inference_kwh_per_instance);
   std::printf("ensemble size     : %zu pipeline(s), %d evaluated\n",
               record->num_pipelines, record->pipelines_evaluated);
+
+  if (breakdown) {
+    const std::string table = RenderEnergyBreakdown({*record});
+    if (!table.empty()) std::printf("\n%s", table.c_str());
+  }
 
   const ImpactEstimate yearly = EstimateImpact(
       record->execution_kwh +

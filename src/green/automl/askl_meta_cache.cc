@@ -1,0 +1,42 @@
+#include "green/automl/askl_meta_cache.h"
+
+namespace green {
+
+AsklMetaStoreCache& AsklMetaStoreCache::Instance() {
+  static AsklMetaStoreCache* kInstance = new AsklMetaStoreCache();
+  return *kInstance;
+}
+
+Result<AsklMetaStoreCache::Entry> AsklMetaStoreCache::GetOrBuild(
+    const std::string& key,
+    const std::function<Result<Entry>()>& builder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  GREEN_ASSIGN_OR_RETURN(Entry entry, builder());
+  entries_[key] = entry;
+  return entry;
+}
+
+size_t AsklMetaStoreCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t AsklMetaStoreCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void AsklMetaStoreCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace green

@@ -1,0 +1,58 @@
+#ifndef GREEN_AUTOML_ASKL_META_CACHE_H_
+#define GREEN_AUTOML_ASKL_META_CACHE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "green/automl/askl_system.h"
+
+namespace green {
+
+/// Process-wide keyed cache of built ASKL meta-stores.
+///
+/// Every fig/table binary and test that constructs an ExperimentRunner
+/// and touches an autosklearn cell used to rebuild the meta-store from
+/// scratch — the single most expensive simulated artifact. The store is
+/// a pure function of its build inputs (corpus seed, simulation profile,
+/// machine, cores), so identical keys can share one immutable instance.
+///
+/// The cached development energy is the RAW virtual-scale kWh of the
+/// build; callers rescale by their own budget_scale so a cache hit
+/// reports exactly the energy a fresh build would have reported.
+class AsklMetaStoreCache {
+ public:
+  struct Entry {
+    std::shared_ptr<const AsklMetaStore> store;
+    double development_kwh = 0.0;  ///< Virtual scale, unscaled.
+  };
+
+  static AsklMetaStoreCache& Instance();
+
+  /// Returns the cached entry for `key`, or runs `builder` (under the
+  /// cache lock, so concurrent callers with the same key build once) and
+  /// caches its result. A failed build is NOT memoized: the next caller
+  /// retries.
+  Result<Entry> GetOrBuild(const std::string& key,
+                           const std::function<Result<Entry>()>& builder);
+
+  size_t hits() const;
+  size_t misses() const;
+
+  /// Drops all cached stores and resets the counters (tests only).
+  void Clear();
+
+ private:
+  AsklMetaStoreCache() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace green
+
+#endif  // GREEN_AUTOML_ASKL_META_CACHE_H_

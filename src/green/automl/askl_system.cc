@@ -30,6 +30,7 @@ std::vector<PipelineConfig> AsklMetaStore::WarmStartConfigs(
 Result<AsklMetaStore> AsklMetaStore::BuildFromCorpus(
     const std::vector<Dataset>& corpus, int evals_per_dataset,
     uint64_t seed, ExecutionContext* ctx) {
+  ChargeScope scope(ctx, "askl_meta_store");
   AsklMetaStore store;
   PipelineSpaceOptions space_options;
   space_options.models = {"decision_tree",  "random_forest",
@@ -80,6 +81,7 @@ Result<AutoMlRunResult> AsklSystem::Fit(const Dataset& train,
   }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
+  ChargeScope sys_scope(ctx, Name());
   const double start = ctx->Now();
   const double deadline = start + options.search_budget_seconds;
   ctx->SetDeadline(deadline);
@@ -116,6 +118,7 @@ Result<AutoMlRunResult> AsklSystem::Fit(const Dataset& train,
   // repository dataset first (meta-learning moves this cost to the
   // development stage).
   if (params_.warm_start && meta_store_ != nullptr) {
+    ChargeScope phase(ctx, "warm_start");
     const MetaFeatures meta = ComputeMetaFeatures(train);
     ctx->ChargeCpu(
         static_cast<double>(train.num_rows() * train.num_features()),
@@ -141,31 +144,35 @@ Result<AutoMlRunResult> AsklSystem::Fit(const Dataset& train,
   }
 
   int iteration = 0;
-  while (policy.MayStartEvaluation(ctx->Now(), deadline, 0.0)) {
-    if (ctx->Cancelled()) {
-      ctx->ClearDeadline();
-      return Status::DeadlineExceeded("askl: cancelled mid-search");
+  {
+    ChargeScope phase(ctx, "search");
+    while (policy.MayStartEvaluation(ctx->Now(), deadline, 0.0)) {
+      if (ctx->Cancelled()) {
+        ctx->ClearDeadline();
+        return Status::DeadlineExceeded("askl: cancelled mid-search");
+      }
+      const ParamPoint point = optimizer.Ask();
+      const PipelineConfig config =
+          space.ToConfig(point, HashCombine(options.seed, iteration + 101));
+      ++iteration;
+      auto evaluated =
+          TrainAndScore(config, holdout.train, holdout.test, ctx);
+      if (!evaluated.ok()) {
+        const double work = optimizer.Tell(point, 0.0);
+        ctx->ChargeCpu(std::max(work, 500.0), 0.0,
+                       /*parallel_fraction=*/0.2);
+        continue;
+      }
+      ++result.pipelines_evaluated;
+      const double surrogate_work =
+          optimizer.Tell(point, evaluated.value().val_score);
+      ctx->ChargeCpu(surrogate_work, 0.0, /*parallel_fraction=*/0.2);
+      library.push_back(std::move(evaluated).value());
     }
-    const ParamPoint point = optimizer.Ask();
-    const PipelineConfig config =
-        space.ToConfig(point, HashCombine(options.seed, iteration + 101));
-    ++iteration;
-    auto evaluated =
-        TrainAndScore(config, holdout.train, holdout.test, ctx);
-    if (!evaluated.ok()) {
-      const double work = optimizer.Tell(point, 0.0);
-      ctx->ChargeCpu(std::max(work, 500.0), 0.0,
-                     /*parallel_fraction=*/0.2);
-      continue;
-    }
-    ++result.pipelines_evaluated;
-    const double surrogate_work =
-        optimizer.Tell(point, evaluated.value().val_score);
-    ctx->ChargeCpu(surrogate_work, 0.0, /*parallel_fraction=*/0.2);
-    library.push_back(std::move(evaluated).value());
   }
 
   if (library.empty()) {
+    ChargeScope phase(ctx, "fallback");
     PipelineConfig fallback;
     fallback.model = "naive_bayes";
     fallback.seed = options.seed;
@@ -188,6 +195,7 @@ Result<AutoMlRunResult> AsklSystem::Fit(const Dataset& train,
   // Caruana ensemble weighting — NOT counted against the search budget
   // (runs after the deadline; the cost grows with the validation set,
   // reproducing ASKL's Table 7 overruns).
+  ChargeScope ensemble_scope(ctx, "ensemble");
   std::vector<ProbaMatrix> lib_proba;
   lib_proba.reserve(library.size());
   for (const auto& member : library) lib_proba.push_back(member.val_proba);

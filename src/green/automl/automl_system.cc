@@ -9,6 +9,7 @@ Result<EvaluatedPipeline> TrainAndScore(const PipelineConfig& config,
                                         const Dataset& fit_data,
                                         const Dataset& val_data,
                                         ExecutionContext* ctx) {
+  ChargeScope scope(ctx, "pipeline");
   GREEN_ASSIGN_OR_RETURN(Pipeline pipeline, BuildPipeline(config));
   GREEN_RETURN_IF_ERROR(pipeline.Fit(fit_data, ctx));
 

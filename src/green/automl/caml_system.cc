@@ -20,6 +20,7 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
   }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
+  ChargeScope sys_scope(ctx, Name());
   const double start = ctx->Now();
   const double deadline = start + options.search_budget_seconds;
   ctx->SetDeadline(deadline);
@@ -31,6 +32,7 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
   // the paper's tuned CAML always selects).
   Dataset working = train;
   if (params_.sampling_fraction < 1.0) {
+    ChargeScope phase(ctx, "sampling");
     const size_t n = std::max<size_t>(
         static_cast<size_t>(train.num_classes()) * 2,
         static_cast<size_t>(params_.sampling_fraction *
@@ -68,6 +70,8 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
 
   int iteration = 0;
   int stall = 0;  // Consecutive evaluations without improvement.
+  {
+  ChargeScope search_scope(ctx, "search");
   while (!ctx->DeadlineExceeded()) {
     if (ctx->Cancelled()) {
       ctx->ClearDeadline();
@@ -193,8 +197,10 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
       ++stall;
     }
   }
+  }
 
   if (best_pipeline == nullptr) {
+    ChargeScope phase(ctx, "fallback");
     // Any-time guarantee: fall back to the cheapest model if nothing
     // finished (can happen at extreme budgets).
     PipelineConfig fallback;
@@ -217,6 +223,7 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
           EstimateTrainSeconds(best_config, working.num_rows(),
                                working.num_features(),
                                working.num_classes(), *ctx))) {
+    ChargeScope phase(ctx, "refit");
     GREEN_ASSIGN_OR_RETURN(Pipeline refitted, BuildPipeline(best_config));
     Status st = refitted.Fit(working, ctx);
     if (st.ok()) {

@@ -67,6 +67,7 @@ Result<ProbaMatrix> FittedArtifact::PredictProba(
   if (base_.empty()) {
     return Status::FailedPrecondition("artifact is empty");
   }
+  ChargeScope scope(ctx, meta_.empty() ? "blend" : "stack");
 
   // Base layer.
   std::vector<ProbaMatrix> base_probas;

@@ -67,6 +67,7 @@ Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
   }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
+  ChargeScope sys_scope(ctx, Name());
   const double start = ctx->Now();
   const double deadline = start + options.search_budget_seconds;
   ctx->SetDeadline(deadline);
@@ -98,6 +99,8 @@ Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
   int stall = 0;
   int iteration = 0;
 
+  {
+  ChargeScope search_scope(ctx, "search");
   while (policy.MayStartEvaluation(ctx->Now(), deadline, 0.0)) {
     if (ctx->Cancelled()) {
       ctx->ClearDeadline();
@@ -158,8 +161,10 @@ Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
       }
     }
   }
+  }
 
   if (best_pipeline == nullptr) {
+    ChargeScope phase(ctx, "fallback");
     PipelineConfig fallback;
     fallback.model = "naive_bayes";
     fallback.seed = options.seed;

@@ -47,6 +47,7 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
+  ChargeScope sys_scope(ctx, Name());
   const double start = ctx->Now();
 
   Rng rng(options.seed);
@@ -115,6 +116,8 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   const size_t n = train.num_rows();
   const size_t k_classes = static_cast<size_t>(train.num_classes());
 
+  {
+  ChargeScope phase(ctx, "bagging");
   for (const PipelineConfig& config : planned) {
     if (ctx->Cancelled()) {
       return Status::DeadlineExceeded("autogluon: cancelled mid-bagging");
@@ -163,6 +166,7 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
     base_configs.push_back(config);
     base_oof.push_back(std::move(oof));
   }
+  }
   if (base_members.empty()) {
     return Status::Internal("autogluon: portfolio training failed");
   }
@@ -176,6 +180,7 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
     augmented.SetFeatureType(j, train.feature_type(j));
   }
   {
+    ChargeScope phase(ctx, "stacking");
     std::vector<double> row(aug_width);
     for (size_t i = 0; i < n; ++i) {
       const double* p = train.RowPtr(i);
@@ -237,6 +242,8 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   }
 
   std::vector<EvaluatedPipeline> meta_models;
+  {
+  ChargeScope phase(ctx, "stacking");
   for (const PipelineConfig& config : stackers) {
     if (ctx->Cancelled()) {
       return Status::DeadlineExceeded("autogluon: cancelled mid-stacking");
@@ -246,6 +253,7 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
     if (!evaluated.ok()) continue;
     ++result.pipelines_evaluated;
     meta_models.push_back(std::move(evaluated).value());
+  }
   }
   if (meta_models.empty()) {
     return Status::Internal("autogluon: stacking layer failed");
@@ -259,7 +267,10 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   const CaruanaResult caruana = CaruanaEnsembleSelection(
       meta_proba, meta_holdout.test.labels(),
       meta_holdout.test.num_classes(), caruana_options);
-  ctx->ChargeCpu(caruana.work, 0.0, /*parallel_fraction=*/0.5);
+  {
+    ChargeScope ensemble_scope(ctx, "ensemble");
+    ctx->ChargeCpu(caruana.work, 0.0, /*parallel_fraction=*/0.5);
+  }
 
   std::vector<FittedArtifact::Member> meta_members;
   for (size_t i = 0; i < meta_models.size(); ++i) {
@@ -280,6 +291,7 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   // --- Optional refit for faster inference: collapse each bagged member
   // into ONE pipeline trained on all rows.
   if (params_.refit_for_inference) {
+    ChargeScope phase(ctx, "refit");
     std::vector<FittedArtifact::Member> refit_members;
     for (size_t m = 0; m < base_members.size(); ++m) {
       PipelineConfig config = base_configs[m];

@@ -19,6 +19,7 @@ Result<AutoMlRunResult> RandomSearchSystem::Fit(
   }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
+  ChargeScope sys_scope(ctx, Name());
   const double start = ctx->Now();
   const double deadline = start + options.search_budget_seconds;
   ctx->SetDeadline(deadline);
@@ -46,6 +47,8 @@ Result<AutoMlRunResult> RandomSearchSystem::Fit(
       params_.evaluation_fraction * options.search_budget_seconds;
 
   int iteration = 0;
+  {
+  ChargeScope search_scope(ctx, "search");
   while (!ctx->DeadlineExceeded()) {
     if (ctx->Cancelled()) {
       ctx->ClearDeadline();
@@ -73,8 +76,10 @@ Result<AutoMlRunResult> RandomSearchSystem::Fit(
       best_pipeline = evaluated.value().pipeline;
     }
   }
+  }
 
   if (best_pipeline == nullptr) {
+    ChargeScope phase(ctx, "fallback");
     PipelineConfig fallback;
     fallback.model = "naive_bayes";
     fallback.seed = options.seed;

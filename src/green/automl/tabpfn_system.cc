@@ -16,6 +16,7 @@ Result<AutoMlRunResult> TabPfnSystem::Fit(const Dataset& train,
   }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
+  ChargeScope sys_scope(ctx, Name());
   const double start = ctx->Now();
 
   // TabPFN consumes the raw table directly; only missing values need

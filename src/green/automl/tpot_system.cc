@@ -22,6 +22,7 @@ Result<AutoMlRunResult> TpotSystem::Fit(const Dataset& train,
   }
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
+  ChargeScope sys_scope(ctx, Name());
   const double start = ctx->Now();
   const double deadline = start + options.search_budget_seconds;
   ctx->SetDeadline(deadline);
@@ -108,9 +109,11 @@ Result<AutoMlRunResult> TpotSystem::Fit(const Dataset& train,
   ga.mutation_prob = params_.mutation_prob;
   ga.crossover_prob = params_.crossover_prob;
   ga.seed = HashCombine(options.seed, 0x9307);
-  const Nsga2Result evolved =
-      Nsga2(space.space(), ga, cross_validate,
-            [&]() { return ctx->DeadlineExceeded() || ctx->Cancelled(); });
+  const Nsga2Result evolved = [&]() {
+    ChargeScope search_scope(ctx, "search");
+    return Nsga2(space.space(), ga, cross_validate,
+                 [&]() { return ctx->DeadlineExceeded() || ctx->Cancelled(); });
+  }();
 
   if (ctx->Cancelled()) {
     ctx->ClearDeadline();
@@ -142,7 +145,10 @@ Result<AutoMlRunResult> TpotSystem::Fit(const Dataset& train,
       space.ToConfig(best_point, HashCombine(options.seed, 0xbe57));
   GREEN_ASSIGN_OR_RETURN(Pipeline final_pipeline,
                          BuildPipeline(best_config));
-  GREEN_RETURN_IF_ERROR(final_pipeline.Fit(train, ctx));
+  {
+    ChargeScope phase(ctx, "refit");
+    GREEN_RETURN_IF_ERROR(final_pipeline.Fit(train, ctx));
+  }
 
   ctx->ClearDeadline();
   result.artifact = FittedArtifact::Single(

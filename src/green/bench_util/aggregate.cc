@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "green/bench_util/table_printer.h"
 #include "green/common/mathutil.h"
@@ -111,6 +112,75 @@ std::string RenderFailureSummary(const std::vector<RunRecord>& records) {
                   StrFormat("%zu", c.skipped)});
   }
   return table.Render();
+}
+
+std::string RenderEnergyBreakdown(const std::vector<RunRecord>& records) {
+  const std::vector<RunRecord> ok = OkOnly(records);
+  bool any_scopes = false;
+  for (const RunRecord& record : ok) {
+    if (!record.scopes.empty()) any_scopes = true;
+  }
+  if (!any_scopes) return std::string();
+
+  struct StageSpec {
+    const char* prefix;
+    const char* title;
+    const char* unit;
+    double (*total)(const RunRecord&);
+  };
+  const StageSpec stages[] = {
+      {"execution/", "execution energy by scope", "kWh",
+       [](const RunRecord& r) { return r.execution_kwh; }},
+      {"inference/", "inference energy by scope", "kWh/instance",
+       [](const RunRecord& r) { return r.inference_kwh_per_instance; }},
+  };
+
+  std::string out;
+  for (const StageSpec& stage : stages) {
+    TablePrinter table({"system", "scope", stage.unit, "share", "charges"});
+    bool any_rows = false;
+    for (const std::string& system : DistinctSystems(ok)) {
+      double total = 0.0;
+      double attributed = 0.0;
+      std::map<std::string, std::pair<double, uint64_t>> rows;
+      for (const RunRecord& record : ok) {
+        if (record.system != system) continue;
+        total += stage.total(record);
+        for (const RunScope& scope : record.scopes) {
+          if (scope.path.rfind(stage.prefix, 0) != 0) continue;
+          auto& row = rows[scope.path.substr(strlen(stage.prefix))];
+          row.first += scope.kwh;
+          row.second += scope.charges;
+          attributed += scope.kwh;
+        }
+      }
+      if (rows.empty()) continue;
+      any_rows = true;
+      for (const auto& [path, row] : rows) {
+        table.AddRow({system, path, StrFormat("%.6g", row.first),
+                      StrFormat("%.1f%%", total > 0.0
+                                    ? 100.0 * row.first / total
+                                    : 0.0),
+                      StrFormat("%llu",
+                                static_cast<unsigned long long>(
+                                    row.second))});
+      }
+      // Static package + idle power belongs to elapsed wall time, not to
+      // any scope; this remainder row makes the column sum to `total`.
+      const double baseline = total - attributed;
+      table.AddRow({system, "(baseline: static+idle)",
+                    StrFormat("%.6g", baseline),
+                    StrFormat("%.1f%%",
+                              total > 0.0 ? 100.0 * baseline / total : 0.0),
+                    "-"});
+      table.AddRow({system, "total", StrFormat("%.6g", total), "100.0%",
+                    "-"});
+    }
+    if (!any_rows) continue;
+    out += StrFormat("-- %s (%s) --\n", stage.title, stage.unit);
+    out += table.Render();
+  }
+  return out;
 }
 
 std::vector<std::string> DistinctSystems(

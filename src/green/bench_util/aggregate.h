@@ -58,6 +58,15 @@ std::vector<std::pair<std::string, OutcomeCounts>> CountOutcomes(
 /// skipped counts. Empty string when every cell succeeded.
 std::string RenderFailureSummary(const std::vector<RunRecord>& records);
 
+/// Hierarchical energy attribution table from the per-scope breakdowns
+/// collected under --breakdown (ExperimentConfig::collect_scopes). One
+/// section per stage: execution (kWh, summed over ok records) and
+/// inference (kWh per instance). Within a system, the scope rows plus
+/// the "(baseline: static+idle)" row sum exactly to the system's
+/// reported total, so every Joule of the headline number is accounted
+/// for. Empty string when no record carries scopes.
+std::string RenderEnergyBreakdown(const std::vector<RunRecord>& records);
+
 /// Distinct (in insertion order) values of a record field.
 std::vector<std::string> DistinctSystems(
     const std::vector<RunRecord>& records);

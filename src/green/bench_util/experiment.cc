@@ -8,6 +8,7 @@
 #include <optional>
 #include <thread>
 
+#include "green/automl/askl_meta_cache.h"
 #include "green/automl/caml_system.h"
 #include "green/automl/flaml_system.h"
 #include "green/automl/gluon_system.h"
@@ -70,6 +71,11 @@ double CellTimeoutFromEnv() {
   return parsed;
 }
 
+bool ScopesFromEnv() {
+  const char* scopes = std::getenv("GREEN_SCOPES");
+  return scopes != nullptr && scopes[0] == '1';
+}
+
 ExperimentConfig ExperimentConfig::FromEnv() {
   ExperimentConfig config;
   config.profile = SimulationProfile::FromEnv();
@@ -84,6 +90,7 @@ ExperimentConfig ExperimentConfig::FromEnv() {
   config.resume = ResumeFromEnv();
   config.retry.max_attempts = RetriesFromEnv();
   config.cell_timeout_seconds = CellTimeoutFromEnv();
+  config.collect_scopes = ScopesFromEnv();
   return config;
 }
 
@@ -183,14 +190,19 @@ Result<std::unique_ptr<AutoMlSystem>> MakeProbeSystem(
   return Status::NotFound("unknown system: " + system_name);
 }
 
-/// Key identifying a sweep cell in journals and resume matching.
-std::string CellKey(const std::string& system, const std::string& dataset,
-                    double budget, int rep) {
+}  // namespace
+
+std::string RunRecordCellKey(const std::string& system,
+                             const std::string& dataset, double budget,
+                             int repetition) {
   return StrFormat("%s|%s|%.6g|%d", system.c_str(), dataset.c_str(),
-                   budget, rep);
+                   budget, repetition);
 }
 
-}  // namespace
+std::string RunRecordCellKey(const RunRecord& record) {
+  return RunRecordCellKey(record.system, record.dataset,
+                          record.paper_budget_seconds, record.repetition);
+}
 
 double ExperimentRunner::MinBudget(const std::string& system_name) const {
   // Single source of truth: the system's own declaration, so harness
@@ -203,34 +215,60 @@ double ExperimentRunner::MinBudget(const std::string& system_name) const {
 Status ExperimentRunner::EnsureMetaStore() {
   // ASKL2's warm start is meta-learned on a repository of pre-searched
   // datasets; the cost is charged to the development stage (the paper:
-  // 140 datasets x 24 h of offline search). Built once under a mutex —
-  // concurrent sweep workers hitting ASKL cells block until the store
-  // (and its development-energy charge) is ready. A FAILED build is NOT
+  // 140 datasets x 24 h of offline search). Resolved once per runner
+  // under a mutex — concurrent sweep workers hitting ASKL cells block
+  // until the store (and its development-energy charge) is ready. The
+  // store itself comes from the process-wide AsklMetaStoreCache: it is a
+  // pure function of the build inputs below, so fig/table binaries and
+  // tests constructing many runners build it once. A FAILED build is NOT
   // memoized: the next caller rebuilds, so a transient fault recovered
   // by the retry policy does not poison every later ASKL cell.
   std::lock_guard<std::mutex> lock(meta_mutex_);
   if (meta_store_ != nullptr) return Status::Ok();
+  // Fault injection stays ahead of the cache lookup: a runner configured
+  // to fail the build must fail even when another runner already cached
+  // the store.
   GREEN_RETURN_IF_ERROR(faults_.Check("askl.metastore.build"));
 
-  MetaCorpusOptions corpus_options;
-  corpus_options.num_datasets = 16;
-  corpus_options.seed = HashCombine(config_.seed, 0x5743);
-  GREEN_ASSIGN_OR_RETURN(std::vector<Dataset> corpus,
-                         GenerateMetaCorpus(corpus_options, config_.profile));
-
-  VirtualClock clock;
-  ExecutionContext ctx(&clock, &energy_model_, config_.cores);
-  EnergyMeter meter(&energy_model_);
-  meter.Start(clock.Now());
-  ctx.SetMeter(&meter);
+  const SimulationProfile& p = config_.profile;
+  const std::string key = StrFormat(
+      "seed=%llu|machine=%s|cores=%d|"
+      "profile=%zu:%zu:%zu:%zu:%d:%.6g:%.6g",
+      static_cast<unsigned long long>(config_.seed),
+      config_.machine.name.c_str(), config_.cores, p.max_rows, p.min_rows,
+      p.max_features, p.min_features, p.max_classes, p.row_scale,
+      p.feature_scale);
   GREEN_ASSIGN_OR_RETURN(
-      AsklMetaStore store,
-      AsklMetaStore::BuildFromCorpus(corpus, /*evals_per_dataset=*/6,
-                                     HashCombine(config_.seed, 0x5744),
-                                     &ctx));
-  const EnergyReading reading = meter.Stop(clock.Now());
-  development_kwh_.fetch_add(reading.kwh() / config_.budget_scale);
-  meta_store_ = std::make_unique<AsklMetaStore>(std::move(store));
+      AsklMetaStoreCache::Entry entry,
+      AsklMetaStoreCache::Instance().GetOrBuild(
+          key, [&]() -> Result<AsklMetaStoreCache::Entry> {
+            MetaCorpusOptions corpus_options;
+            corpus_options.num_datasets = 16;
+            corpus_options.seed = HashCombine(config_.seed, 0x5743);
+            GREEN_ASSIGN_OR_RETURN(
+                std::vector<Dataset> corpus,
+                GenerateMetaCorpus(corpus_options, config_.profile));
+
+            VirtualClock clock;
+            ExecutionContext ctx(&clock, &energy_model_, config_.cores);
+            EnergyMeter meter(&energy_model_);
+            meter.Start(clock.Now());
+            ctx.SetMeter(&meter);
+            GREEN_ASSIGN_OR_RETURN(
+                AsklMetaStore store,
+                AsklMetaStore::BuildFromCorpus(
+                    corpus, /*evals_per_dataset=*/6,
+                    HashCombine(config_.seed, 0x5744), &ctx));
+            AsklMetaStoreCache::Entry built;
+            built.store =
+                std::make_shared<const AsklMetaStore>(std::move(store));
+            // Cache the RAW virtual-scale kWh; each runner rescales by
+            // its own budget_scale below.
+            built.development_kwh = meter.Stop(clock.Now()).kwh();
+            return built;
+          }));
+  development_kwh_.fetch_add(entry.development_kwh / config_.budget_scale);
+  meta_store_ = entry.store;
   return Status::Ok();
 }
 
@@ -326,6 +364,19 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   record.pipelines_evaluated = run.pipelines_evaluated;
   record.best_validation_score = run.best_validation_score;
   record.attempts = attempt;
+  if (config_.collect_scopes) {
+    // Scope rows carry the same paper-scale units as execution_kwh /
+    // execution_seconds; FLOPs are counted work and need no rescaling.
+    for (const auto& [path, charge] : run.execution.scopes) {
+      RunScope row;
+      row.path = "execution/" + path;
+      row.kwh = charge.kwh() / config_.budget_scale;
+      row.seconds = charge.seconds / config_.budget_scale;
+      row.flops = charge.flops;
+      row.charges = charge.charges;
+      record.scopes.push_back(std::move(row));
+    }
+  }
 
   // Inference stage: metered separately, normalized per instance.
   if (cancel != nullptr && cancel->cancelled()) {
@@ -347,6 +398,19 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   record.inference_seconds_per_instance =
       n_test > 0 ? inference.seconds / n_test / config_.budget_scale
                  : 0.0;
+  if (config_.collect_scopes && n_test > 0) {
+    // Inference scopes are normalized per test instance, like the
+    // headline inference_kwh_per_instance.
+    for (const auto& [path, charge] : inference.scopes) {
+      RunScope row;
+      row.path = "inference/" + path;
+      row.kwh = charge.kwh() / n_test / config_.budget_scale;
+      row.seconds = charge.seconds / n_test / config_.budget_scale;
+      row.flops = charge.flops / n_test;
+      row.charges = charge.charges;
+      record.scopes.push_back(std::move(row));
+    }
+  }
   record.test_balanced_accuracy = BalancedAccuracy(
       data.test.labels(), preds, data.test.num_classes());
   return record;
@@ -447,10 +511,20 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
     if (config_.resume) {
       GREEN_ASSIGN_OR_RETURN(std::vector<RunRecord> previous,
                              ReadJournalJsonl(config_.journal_path));
+      // Repeated resume cycles can journal the same cell several times
+      // (a cell re-run after a crash mid-append). Later lines supersede
+      // earlier ones, matching the order Sweep appended them.
+      size_t superseded = 0;
       for (RunRecord& record : previous) {
-        journaled[CellKey(record.system, record.dataset,
-                          record.paper_budget_seconds,
-                          record.repetition)] = std::move(record);
+        const auto inserted = journaled.insert_or_assign(
+            RunRecordCellKey(record), std::move(record));
+        if (!inserted.second) ++superseded;
+      }
+      if (superseded > 0) {
+        LogInfo(StrFormat(
+            "journal %s: %zu superseded record(s); run --compact-journal "
+            "to rewrite it deduplicated",
+            config_.journal_path.c_str(), superseded));
       }
     } else {
       FILE* f = std::fopen(config_.journal_path.c_str(), "w");
@@ -505,7 +579,8 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
   ParallelFor(cells.size(), jobs, [&](size_t i) {
     const Cell& cell = cells[i];
     const std::string key =
-        CellKey(*cell.system, cell.dataset->name(), cell.budget, cell.rep);
+        RunRecordCellKey(*cell.system, cell.dataset->name(), cell.budget,
+                         cell.rep);
 
     auto journaled_cell = journaled.find(key);
     if (journaled_cell != journaled.end()) {

@@ -55,6 +55,11 @@ struct ExperimentConfig {
   /// With a journal: load cells already present in it instead of
   /// re-running them. Without: the journal is truncated at sweep start.
   bool resume = false;
+  /// Copy per-scope energy breakdowns onto each RunRecord (CLI
+  /// `--breakdown`, GREEN_SCOPES=1). Off by default so record streams
+  /// written by the fig/table benches stay byte-identical to before the
+  /// scope tree existed.
+  bool collect_scopes = false;
 
   /// Reads GREEN_FULL to decide between the fast subset and the full
   /// 39-task x 10-repetition configuration, plus GREEN_JOBS,
@@ -85,6 +90,9 @@ int RetriesFromEnv();
 /// unset/invalid = 0 (disabled).
 double CellTimeoutFromEnv();
 
+/// GREEN_SCOPES: true iff set to a value starting with '1'.
+bool ScopesFromEnv();
+
 /// Where a cell ended up. Every enumerated cell gets exactly one record;
 /// the outcome is the AMLB-style failure taxonomy.
 enum class RunOutcome {
@@ -101,6 +109,19 @@ Result<RunOutcome> RunOutcomeFromName(const std::string& name);
 /// INVALID_ARGUMENT / UNIMPLEMENTED / FAILED_PRECONDITION -> skipped;
 /// any other error -> failed. OK maps to ok.
 RunOutcome OutcomeForStatus(const Status& status);
+
+/// One row of a per-record energy breakdown: a stage-prefixed scope path
+/// ("execution/caml/search/pipeline/fit/random_forest") and the dynamic
+/// energy attributed to it, at the same scale as the record's headline
+/// numbers (execution scopes at paper scale, inference scopes per
+/// instance).
+struct RunScope {
+  std::string path;
+  double kwh = 0.0;
+  double seconds = 0.0;
+  double flops = 0.0;
+  uint64_t charges = 0;
+};
 
 /// One (system, dataset, budget, repetition) measurement.
 struct RunRecord {
@@ -127,8 +148,20 @@ struct RunRecord {
   std::string error;
   int attempts = 1;
 
+  /// Per-scope dynamic-energy breakdown; populated only when
+  /// ExperimentConfig::collect_scopes is set (the serialized record grows
+  /// a "scopes" field only when non-empty).
+  std::vector<RunScope> scopes;
+
   bool ok() const { return outcome == RunOutcome::kOk; }
 };
+
+/// Canonical "system|dataset|budget|rep" key identifying a sweep cell in
+/// journals, resume matching, and compaction.
+std::string RunRecordCellKey(const RunRecord& record);
+std::string RunRecordCellKey(const std::string& system,
+                             const std::string& dataset, double budget,
+                             int repetition);
 
 /// Names accepted by MakeSystem / RunOne.
 const std::vector<std::string>& AllSystemNames();
@@ -225,7 +258,9 @@ class ExperimentRunner {
   std::vector<Dataset> suite_;
   TunedConfigStore tuned_store_;
   std::mutex meta_mutex_;
-  std::unique_ptr<AsklMetaStore> meta_store_;
+  /// Shared with the process-wide AsklMetaStoreCache: runners with
+  /// identical build inputs reuse one immutable store.
+  std::shared_ptr<const AsklMetaStore> meta_store_;
   FaultInjector faults_;
   std::atomic<double> development_kwh_{0.0};
   double last_sweep_wall_seconds_ = 0.0;

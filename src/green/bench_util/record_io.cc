@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 
 #include "green/common/logging.h"
 #include "green/common/stringutil.h"
@@ -116,14 +118,14 @@ Result<std::string> ExtractField(const std::string& line,
 }  // namespace
 
 std::string RecordToJson(const RunRecord& record) {
-  return StrFormat(
+  std::string out = StrFormat(
       "{\"system\":\"%s\",\"dataset\":\"%s\",\"budget_s\":%.6g,"
       "\"repetition\":%d,\"balanced_accuracy\":%.10g,"
       "\"execution_seconds\":%.10g,\"execution_kwh\":%.10g,"
       "\"inference_kwh_per_instance\":%.10g,"
       "\"inference_seconds_per_instance\":%.10g,\"num_pipelines\":%zu,"
       "\"pipelines_evaluated\":%d,\"best_validation_score\":%.10g,"
-      "\"outcome\":\"%s\",\"error\":\"%s\",\"attempts\":%d}",
+      "\"outcome\":\"%s\",\"error\":\"%s\",\"attempts\":%d",
       Escape(record.system).c_str(), Escape(record.dataset).c_str(),
       record.paper_budget_seconds, record.repetition,
       record.test_balanced_accuracy, record.execution_seconds,
@@ -132,6 +134,24 @@ std::string RecordToJson(const RunRecord& record) {
       record.pipelines_evaluated, record.best_validation_score,
       RunOutcomeName(record.outcome), Escape(record.error).c_str(),
       record.attempts);
+  // The scopes field exists only when a breakdown was collected, so
+  // records written without --breakdown stay byte-identical to files
+  // produced before the scope tree existed.
+  if (!record.scopes.empty()) {
+    out += ",\"scopes\":[";
+    for (size_t i = 0; i < record.scopes.size(); ++i) {
+      const RunScope& s = record.scopes[i];
+      if (i > 0) out += ',';
+      out += StrFormat(
+          "{\"path\":\"%s\",\"kwh\":%.10g,\"seconds\":%.10g,"
+          "\"flops\":%.10g,\"charges\":%llu}",
+          Escape(s.path).c_str(), s.kwh, s.seconds, s.flops,
+          static_cast<unsigned long long>(s.charges));
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
 }
 
 Result<RunRecord> RecordFromJson(const std::string& line) {
@@ -185,6 +205,38 @@ Result<RunRecord> RecordFromJson(const std::string& line) {
                            ExtractField(line, "attempts"));
     record.attempts =
         static_cast<int>(std::strtol(attempts.c_str(), nullptr, 10));
+  }
+  // The scopes array is optional (written only under --breakdown).
+  // Scope paths are '/'-joined operator names, never braces, so each
+  // element is delimited by the next '}'.
+  const size_t scopes_pos = line.find("\"scopes\":[");
+  if (scopes_pos != std::string::npos) {
+    size_t cursor = scopes_pos + std::strlen("\"scopes\":[");
+    while (cursor < line.size() && line[cursor] != ']') {
+      const size_t open = line.find('{', cursor);
+      if (open == std::string::npos) break;
+      const size_t close = line.find('}', open);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument("unterminated scope entry");
+      }
+      const std::string entry = line.substr(open, close - open + 1);
+      RunScope s;
+      GREEN_ASSIGN_OR_RETURN(s.path, ExtractField(entry, "path"));
+      GREEN_ASSIGN_OR_RETURN(std::string kwh,
+                             ExtractField(entry, "kwh"));
+      s.kwh = std::strtod(kwh.c_str(), nullptr);
+      GREEN_ASSIGN_OR_RETURN(std::string seconds,
+                             ExtractField(entry, "seconds"));
+      s.seconds = std::strtod(seconds.c_str(), nullptr);
+      GREEN_ASSIGN_OR_RETURN(std::string flops,
+                             ExtractField(entry, "flops"));
+      s.flops = std::strtod(flops.c_str(), nullptr);
+      GREEN_ASSIGN_OR_RETURN(std::string charges,
+                             ExtractField(entry, "charges"));
+      s.charges = std::strtoull(charges.c_str(), nullptr, 10);
+      record.scopes.push_back(std::move(s));
+      cursor = close + 1;
+    }
   }
   return record;
 }
@@ -309,6 +361,34 @@ Result<std::vector<RunRecord>> ReadJournalJsonl(const std::string& path) {
     records.push_back(std::move(record).value());
   }
   return records;
+}
+
+Result<size_t> CompactJournalJsonl(const std::string& path) {
+  GREEN_ASSIGN_OR_RETURN(std::vector<RunRecord> records,
+                         ReadJournalJsonl(path));
+  std::map<std::string, size_t> slot;  // Cell key -> index into `kept`.
+  std::vector<RunRecord> kept;
+  size_t removed = 0;
+  for (RunRecord& record : records) {
+    const std::string key = RunRecordCellKey(record);
+    auto it = slot.find(key);
+    if (it == slot.end()) {
+      slot.emplace(key, kept.size());
+      kept.push_back(std::move(record));
+    } else {
+      // Later lines supersede earlier ones (same rule resume applies),
+      // but the cell keeps its first-appearance position.
+      kept[it->second] = std::move(record);
+      ++removed;
+    }
+  }
+  const std::string tmp = path + ".compact.tmp";
+  GREEN_RETURN_IF_ERROR(WriteRecordsJsonl(kept, tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot replace " + path);
+  }
+  return removed;
 }
 
 }  // namespace green

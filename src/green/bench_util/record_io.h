@@ -41,6 +41,14 @@ Status AppendRecordJsonl(const RunRecord& record, const std::string& path);
 /// warning instead of failing the whole resume.
 Result<std::vector<RunRecord>> ReadJournalJsonl(const std::string& path);
 
+/// Rewrites a journal in place keeping only the LAST record per sweep
+/// cell (repeated resume cycles append superseding lines). Surviving
+/// records keep the order in which their cell first appeared; unparseable
+/// lines are dropped like ReadJournalJsonl drops them. The rewrite goes
+/// through a temp file + rename so a crash mid-compaction cannot lose
+/// the journal. Returns the number of lines removed.
+Result<size_t> CompactJournalJsonl(const std::string& path);
+
 }  // namespace green
 
 #endif  // GREEN_BENCH_UTIL_RECORD_IO_H_

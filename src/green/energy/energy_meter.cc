@@ -13,19 +13,41 @@ void EnergyMeter::Start(double clock_now) {
   running_ = true;
   start_time_ = clock_now;
   dynamic_ = EnergyBreakdown{};
+  scopes_.clear();
 }
 
-void EnergyMeter::Record(const Work& work, const WorkExecution& exec) {
+void EnergyMeter::Record(const Work& work, const WorkExecution& exec,
+                         std::string_view scope_path) {
   if (!running_) return;
+  double dynamic_joules = 0.0;
   if (exec.gpu_busy_seconds > 0.0) {
-    dynamic_.gpu_dynamic_j +=
+    const double j =
         model_->machine().gpu_active_watts * exec.gpu_busy_seconds;
+    dynamic_.gpu_dynamic_j += j;
+    dynamic_joules += j;
   }
   if (exec.busy_core_seconds > 0.0) {
-    dynamic_.cpu_dynamic_j += model_->machine().cpu_active_watts_per_core *
-                              exec.busy_core_seconds;
+    const double j = model_->machine().cpu_active_watts_per_core *
+                     exec.busy_core_seconds;
+    dynamic_.cpu_dynamic_j += j;
+    dynamic_joules += j;
   }
-  dynamic_.dram_j += model_->machine().dram_joules_per_byte * work.bytes;
+  const double dram_j =
+      model_->machine().dram_joules_per_byte * work.bytes;
+  dynamic_.dram_j += dram_j;
+  dynamic_joules += dram_j;
+
+  if (scope_path.empty()) scope_path = kUnscopedPath;
+  auto it = scopes_.find(scope_path);
+  if (it == scopes_.end()) {
+    it = scopes_.emplace(std::string(scope_path), ScopeCharge{}).first;
+  }
+  ScopeCharge& sc = it->second;
+  sc.seconds += exec.seconds;
+  sc.joules += dynamic_joules;
+  sc.flops += work.flops;
+  sc.bytes += work.bytes;
+  ++sc.charges;
 }
 
 EnergyReading EnergyMeter::Stop(double clock_now) {
@@ -41,6 +63,7 @@ EnergyReading EnergyMeter::Peek(double clock_now) const {
   const double elapsed = clock_now - start_time_;
   out.seconds = elapsed > 0.0 ? elapsed : 0.0;
   out.breakdown = dynamic_;
+  for (const auto& [path, charge] : scopes_) out.scopes[path] = charge;
   out.breakdown.cpu_static_j +=
       model_->machine().cpu_static_watts * out.seconds;
   if (model_->machine().has_gpu) {

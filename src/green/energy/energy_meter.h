@@ -1,15 +1,52 @@
 #ifndef GREEN_ENERGY_ENERGY_METER_H_
 #define GREEN_ENERGY_ENERGY_METER_H_
 
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
 #include "green/common/status.h"
 #include "green/energy/energy_model.h"
 
 namespace green {
 
+/// Dynamic work attributed to one scope path ("caml/search/pipeline/
+/// fit/random_forest"). Only per-charge quantities live here — static
+/// package power and GPU idle power are properties of elapsed wall time,
+/// not of any one scope, so they stay on the flat EnergyBreakdown.
+struct ScopeCharge {
+  double seconds = 0.0;  ///< Virtual seconds the scope's charges took.
+  double joules = 0.0;   ///< Dynamic energy (CPU + GPU + DRAM).
+  double flops = 0.0;
+  double bytes = 0.0;
+  uint64_t charges = 0;  ///< Number of Charge calls attributed here.
+
+  double kwh() const { return joules / 3.6e6; }
+
+  ScopeCharge& operator+=(const ScopeCharge& o) {
+    seconds += o.seconds;
+    joules += o.joules;
+    flops += o.flops;
+    bytes += o.bytes;
+    charges += o.charges;
+    return *this;
+  }
+};
+
+/// Scope path used for charges issued with no ChargeScope open.
+inline constexpr const char* kUnscopedPath = "(unscoped)";
+
 /// Result of one metered scope.
 struct EnergyReading {
   double seconds = 0.0;  ///< Virtual wall time covered by the scope.
   EnergyBreakdown breakdown;
+
+  /// Dynamic energy per scope path, keyed by the '/'-joined ChargeScope
+  /// stack at the moment each charge was issued. Since every charge
+  /// lands on exactly one path, the paths' joules sum to the dynamic
+  /// part of `breakdown` (the flat stage totals stay derivable).
+  std::map<std::string, ScopeCharge> scopes;
 
   double kwh() const { return breakdown.TotalKwh(); }
   double joules() const { return breakdown.TotalJoules(); }
@@ -17,6 +54,7 @@ struct EnergyReading {
   EnergyReading& operator+=(const EnergyReading& o) {
     seconds += o.seconds;
     breakdown += o.breakdown;
+    for (const auto& [path, charge] : o.scopes) scopes[path] += charge;
     return *this;
   }
 };
@@ -43,8 +81,13 @@ class EnergyMeter {
   /// Begins a scope at virtual time `clock_now` (seconds).
   void Start(double clock_now);
 
-  /// Attributes one executed work item to the running scope.
-  void Record(const Work& work, const WorkExecution& exec);
+  /// Attributes one executed work item to the running scope, filed under
+  /// `scope_path` (empty = kUnscopedPath).
+  void Record(const Work& work, const WorkExecution& exec,
+              std::string_view scope_path);
+  void Record(const Work& work, const WorkExecution& exec) {
+    Record(work, exec, std::string_view());
+  }
 
   /// Ends the scope, charging baseline power for the elapsed wall time.
   EnergyReading Stop(double clock_now);
@@ -60,6 +103,7 @@ class EnergyMeter {
   bool running_ = false;
   double start_time_ = 0.0;
   EnergyBreakdown dynamic_;
+  std::map<std::string, ScopeCharge, std::less<>> scopes_;
 };
 
 }  // namespace green

@@ -15,8 +15,20 @@ enum class Stage { kDevelopment = 0, kExecution = 1, kInference = 2 };
 
 const char* StageName(Stage stage);
 
-/// Accumulates energy readings per (system, stage). This is the paper's
-/// central bookkeeping device: savings in one stage (e.g. TabPFN's free
+/// One aggregated row of the ledger's scope tree: a stage-prefixed scope
+/// path ("execution/caml/search/pipeline/fit/random_forest") and the
+/// dynamic work charged to it.
+struct ScopeRow {
+  std::string path;
+  ScopeCharge charge;
+};
+
+/// Accumulates energy readings per (system, scope path). This is the
+/// paper's central bookkeeping device, rebuilt hierarchically: each
+/// reading's per-scope charges are filed under a stage-prefixed path, so
+/// "which operator inside the search burned the kWh?" is answerable,
+/// while the flat per-(system, stage) totals remain derivable (Get /
+/// TotalKwh are unchanged) — savings in one stage (e.g. TabPFN's free
 /// execution) can be paid for in another (its expensive inference), and
 /// only a ledger across all three stages makes the trade-offs visible.
 class StageLedger {
@@ -30,6 +42,21 @@ class StageLedger {
   /// kWh across all stages for one system.
   double TotalKwh(const std::string& system) const;
 
+  /// All aggregated scope rows for one system, sorted by path. Paths are
+  /// stage-prefixed; charges issued with no ChargeScope open appear
+  /// under "<stage>/(unscoped)".
+  std::vector<ScopeRow> ScopeRows(const std::string& system) const;
+
+  /// Sum of all scope charges whose path equals `path_prefix` or lies
+  /// beneath it ("execution/caml/search" rolls up the whole subtree).
+  ScopeCharge Rollup(const std::string& system,
+                     const std::string& path_prefix) const;
+
+  /// Dynamic kWh attributed to scopes under `stage`. The remainder of
+  /// Get(system, stage).kwh() is baseline (static + idle) power, which
+  /// belongs to elapsed wall time rather than to any scope.
+  double AttributedKwh(const std::string& system, Stage stage) const;
+
   /// Amortization: number of executions after which investing
   /// `development_kwh` up-front pays off against a baseline whose
   /// per-execution energy is higher by `per_run_saving_kwh`.
@@ -40,7 +67,9 @@ class StageLedger {
   std::vector<std::string> systems() const;
 
  private:
-  std::map<std::pair<std::string, Stage>, EnergyReading> entries_;
+  std::map<std::pair<std::string, Stage>, EnergyReading> totals_;
+  /// system -> stage-prefixed scope path -> aggregated charge.
+  std::map<std::string, std::map<std::string, ScopeCharge>> scopes_;
 };
 
 }  // namespace green

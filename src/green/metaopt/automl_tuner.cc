@@ -64,6 +64,7 @@ Result<AutoMlTunerResult> AutoMlTuner::Tune(
 
   EnergyMeter meter(ctx->model());
   ScopedMeter scope(ctx, &meter);
+  ChargeScope tuner_scope(ctx, "automl_tuner");
   const double start = ctx->Now();
 
   AutoMlTunerResult result;

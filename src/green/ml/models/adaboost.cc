@@ -13,6 +13,7 @@ Status AdaBoost::Fit(const Dataset& train, ExecutionContext* ctx) {
   const int k = train.num_classes();
   if (n == 0) return Status::InvalidArgument("adaboost: empty data");
   if (k < 2) return Status::InvalidArgument("adaboost: need >= 2 classes");
+  ChargeScope scope(ctx, Name());
   stages_.clear();
 
   Rng rng(params_.seed);
@@ -25,6 +26,9 @@ Status AdaBoost::Fit(const Dataset& train, ExecutionContext* ctx) {
   tree_params.min_samples_leaf = 2;
 
   for (int round = 0; round < params_.num_rounds; ++round) {
+    if (ctx->Interrupted()) {
+      return Status::DeadlineExceeded("adaboost: interrupted mid-fit");
+    }
     // Weighted-bootstrap approximation of weighted fitting: draw n rows
     // from the current weight distribution.
     double acc = 0.0;
@@ -88,6 +92,9 @@ Status AdaBoost::Fit(const Dataset& train, ExecutionContext* ctx) {
   }
   // Sequential rounds; only per-stage tree work parallelizes.
   ctx->ChargeCpu(flops, train.FeatureBytes(), /*parallel_fraction=*/0.4);
+  if (ctx->Interrupted()) {
+    return Status::DeadlineExceeded("adaboost: interrupted mid-fit");
+  }
   MarkFitted(k);
   return Status::Ok();
 }
@@ -95,6 +102,7 @@ Status AdaBoost::Fit(const Dataset& train, ExecutionContext* ctx) {
 Result<ProbaMatrix> AdaBoost::PredictProba(const Dataset& data,
                                            ExecutionContext* ctx) const {
   if (!fitted()) return Status::FailedPrecondition("adaboost not fitted");
+  ChargeScope scope(ctx, Name());
   const size_t k = static_cast<size_t>(num_classes());
   ProbaMatrix out(data.num_rows(), std::vector<double>(k, 0.0));
   double flops = 0.0;

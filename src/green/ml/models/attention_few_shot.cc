@@ -17,6 +17,7 @@ Status AttentionFewShot::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("few_shot: empty training data");
   }
+  ChargeScope scope(ctx, Name());
   class_limit_exceeded_ = train.num_classes() > params_.max_classes;
 
   // TabPFN was "mainly developed for datasets with up to 1k instances":
@@ -72,6 +73,7 @@ Result<ProbaMatrix> AttentionFewShot::PredictProba(
   if (data.num_features() != context_.num_features()) {
     return Status::InvalidArgument("few_shot: feature count mismatch");
   }
+  ChargeScope scope(ctx, Name());
   const size_t n_ctx = context_.num_rows();
   const size_t d = context_.num_features();
   const size_t h = static_cast<size_t>(params_.embed_dim);

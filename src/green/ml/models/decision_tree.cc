@@ -44,6 +44,7 @@ void Normalize(std::vector<double>* v) {
 }  // namespace
 
 Status DecisionTree::Fit(const Dataset& train, ExecutionContext* ctx) {
+  ChargeScope scope(ctx, Name());
   std::vector<size_t> all(train.num_rows());
   std::iota(all.begin(), all.end(), 0);
   Rng rng(params_.seed);
@@ -51,6 +52,9 @@ Status DecisionTree::Fit(const Dataset& train, ExecutionContext* ctx) {
   GREEN_RETURN_IF_ERROR(FitCounted(train, all, &rng, &flops));
   // Single-tree induction is mostly sequential (node-by-node greedy).
   ctx->ChargeCpu(flops, train.FeatureBytes(), /*parallel_fraction=*/0.3);
+  if (ctx->Interrupted()) {
+    return Status::DeadlineExceeded("decision_tree: interrupted mid-fit");
+  }
   return Status::Ok();
 }
 
@@ -259,6 +263,7 @@ void DecisionTree::PredictProbaCounted(const Dataset& data,
 Result<ProbaMatrix> DecisionTree::PredictProba(const Dataset& data,
                                                ExecutionContext* ctx) const {
   if (!fitted()) return Status::FailedPrecondition("tree not fitted");
+  ChargeScope scope(ctx, Name());
   ProbaMatrix out;
   double flops = 0.0;
   PredictProbaCounted(data, &out, &flops);

@@ -9,6 +9,7 @@ Status ExtraTrees::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("extra_trees: empty training data");
   }
+  ChargeScope scope(ctx, Name());
   trees_.clear();
   Rng rng(params_.seed);
   double flops = 0.0;
@@ -26,6 +27,9 @@ Status ExtraTrees::Fit(const Dataset& train, ExecutionContext* ctx) {
   std::vector<size_t> all(train.num_rows());
   std::iota(all.begin(), all.end(), 0);
   for (int t = 0; t < params_.num_trees; ++t) {
+    if (ctx->Interrupted()) {
+      return Status::DeadlineExceeded("extra_trees: interrupted mid-fit");
+    }
     Rng tree_rng = rng.Fork();
     tree_params.seed = tree_rng.NextUint64();
     trees_.emplace_back(tree_params);
@@ -33,6 +37,9 @@ Status ExtraTrees::Fit(const Dataset& train, ExecutionContext* ctx) {
         trees_.back().FitCounted(train, all, &tree_rng, &flops));
   }
   ctx->ChargeCpu(flops, train.FeatureBytes(), /*parallel_fraction=*/0.95);
+  if (ctx->Interrupted()) {
+    return Status::DeadlineExceeded("extra_trees: interrupted mid-fit");
+  }
   MarkFitted(train.num_classes());
   return Status::Ok();
 }
@@ -40,6 +47,7 @@ Status ExtraTrees::Fit(const Dataset& train, ExecutionContext* ctx) {
 Result<ProbaMatrix> ExtraTrees::PredictProba(const Dataset& data,
                                              ExecutionContext* ctx) const {
   if (!fitted()) return Status::FailedPrecondition("extra_trees not fitted");
+  ChargeScope scope(ctx, Name());
   ProbaMatrix total(data.num_rows(),
                     std::vector<double>(
                         static_cast<size_t>(num_classes()), 0.0));

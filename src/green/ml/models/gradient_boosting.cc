@@ -14,6 +14,7 @@ Status GradientBoosting::Fit(const Dataset& train, ExecutionContext* ctx) {
   const int k = train.num_classes();
   if (n == 0) return Status::InvalidArgument("gboost: empty training data");
 
+  ChargeScope scope(ctx, Name());
   trees_.clear();
   rounds_fitted_ = 0;
   total_nodes_ = 0.0;
@@ -37,6 +38,9 @@ Status GradientBoosting::Fit(const Dataset& train, ExecutionContext* ctx) {
   std::vector<double> proba;
 
   for (int round = 0; round < params_.num_rounds; ++round) {
+    if (ctx->Interrupted()) {
+      return Status::DeadlineExceeded("gboost: interrupted mid-fit");
+    }
     std::vector<size_t> rows;
     if (params_.subsample < 1.0) {
       for (size_t r = 0; r < n; ++r) {
@@ -76,6 +80,9 @@ Status GradientBoosting::Fit(const Dataset& train, ExecutionContext* ctx) {
   // Boosting is sequential across rounds; per-round tree fits parallelize
   // only over classes.
   ctx->ChargeCpu(flops, train.FeatureBytes(), /*parallel_fraction=*/0.4);
+  if (ctx->Interrupted()) {
+    return Status::DeadlineExceeded("gboost: interrupted mid-fit");
+  }
   MarkFitted(k);
   return Status::Ok();
 }
@@ -188,6 +195,7 @@ double GradientBoosting::PredictRegTree(const RegTree& tree,
 Result<ProbaMatrix> GradientBoosting::PredictProba(
     const Dataset& data, ExecutionContext* ctx) const {
   if (!fitted()) return Status::FailedPrecondition("gboost not fitted");
+  ChargeScope scope(ctx, Name());
   const int k = num_classes();
   ProbaMatrix out(data.num_rows());
   double flops = 0.0;

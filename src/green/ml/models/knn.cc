@@ -9,6 +9,7 @@ Status Knn::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("knn: empty training data");
   }
+  ChargeScope scope(ctx, Name());
   train_ = train;
   // Training is a copy: charge the bytes, not compute.
   ctx->ChargeCpu(static_cast<double>(train.num_rows()),
@@ -23,6 +24,7 @@ Result<ProbaMatrix> Knn::PredictProba(const Dataset& data,
   if (data.num_features() != train_.num_features()) {
     return Status::InvalidArgument("knn: feature count mismatch");
   }
+  ChargeScope scope(ctx, Name());
   const size_t n_train = train_.num_rows();
   const size_t d = train_.num_features();
   const int k_classes = num_classes();

@@ -15,6 +15,7 @@ Status LogisticRegression::Fit(const Dataset& train,
   const int k = train.num_classes();
   if (n == 0) return Status::InvalidArgument("logreg: empty training data");
 
+  ChargeScope scope(ctx, Name());
   num_features_ = d;
   weights_.assign(static_cast<size_t>(k) * (d + 1), 0.0);
   Rng rng(params_.seed);
@@ -27,6 +28,9 @@ Status LogisticRegression::Fit(const Dataset& train,
   const size_t batch =
       std::max<size_t>(1, static_cast<size_t>(params_.batch_size));
   for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    if (ctx->Interrupted()) {
+      return Status::DeadlineExceeded("logreg: interrupted mid-fit");
+    }
     rng.Shuffle(&order);
     const double lr = params_.learning_rate /
                       (1.0 + 0.1 * static_cast<double>(epoch));
@@ -57,6 +61,9 @@ Status LogisticRegression::Fit(const Dataset& train,
   }
   // Mini-batch SGD parallelizes only within a batch.
   ctx->ChargeCpu(flops, train.FeatureBytes(), /*parallel_fraction=*/0.5);
+  if (ctx->Interrupted()) {
+    return Status::DeadlineExceeded("logreg: interrupted mid-fit");
+  }
   MarkFitted(k);
   return Status::Ok();
 }
@@ -67,6 +74,7 @@ Result<ProbaMatrix> LogisticRegression::PredictProba(
   if (data.num_features() != num_features_) {
     return Status::InvalidArgument("logreg: feature count mismatch");
   }
+  ChargeScope scope(ctx, Name());
   const size_t d = num_features_;
   const int k = num_classes();
   ProbaMatrix out(data.num_rows());

@@ -34,6 +34,7 @@ Status Mlp::Fit(const Dataset& train, ExecutionContext* ctx) {
   const int k = train.num_classes();
   if (n == 0) return Status::InvalidArgument("mlp: empty training data");
 
+  ChargeScope scope(ctx, Name());
   num_features_ = d;
   Rng rng(params_.seed);
   w1_.resize(h * (d + 1));
@@ -51,6 +52,9 @@ Status Mlp::Fit(const Dataset& train, ExecutionContext* ctx) {
   double flops = 0.0;
 
   for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    if (ctx->Interrupted()) {
+      return Status::DeadlineExceeded("mlp: interrupted mid-fit");
+    }
     rng.Shuffle(&order);
     const double lr = params_.learning_rate /
                       (1.0 + 0.05 * static_cast<double>(epoch));
@@ -87,6 +91,9 @@ Status Mlp::Fit(const Dataset& train, ExecutionContext* ctx) {
     }
   }
   ctx->ChargeCpu(flops, train.FeatureBytes(), /*parallel_fraction=*/0.6);
+  if (ctx->Interrupted()) {
+    return Status::DeadlineExceeded("mlp: interrupted mid-fit");
+  }
   MarkFitted(k);
   return Status::Ok();
 }
@@ -97,6 +104,7 @@ Result<ProbaMatrix> Mlp::PredictProba(const Dataset& data,
   if (data.num_features() != num_features_) {
     return Status::InvalidArgument("mlp: feature count mismatch");
   }
+  ChargeScope scope(ctx, Name());
   const size_t h = static_cast<size_t>(params_.hidden_units);
   const int k = num_classes();
   ProbaMatrix out(data.num_rows());

@@ -13,6 +13,7 @@ Status GaussianNaiveBayes::Fit(const Dataset& train,
   const int k = train.num_classes();
   if (n == 0) return Status::InvalidArgument("nb: empty training data");
 
+  ChargeScope scope(ctx, Name());
   num_features_ = d;
   mean_.assign(static_cast<size_t>(k) * d, 0.0);
   var_.assign(static_cast<size_t>(k) * d, 0.0);
@@ -58,6 +59,7 @@ Result<ProbaMatrix> GaussianNaiveBayes::PredictProba(
   if (data.num_features() != num_features_) {
     return Status::InvalidArgument("nb: feature count mismatch");
   }
+  ChargeScope scope(ctx, Name());
   const size_t d = num_features_;
   const int k = num_classes();
   ProbaMatrix out(data.num_rows());

@@ -8,6 +8,7 @@ Status RandomForest::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("random_forest: empty training data");
   }
+  ChargeScope scope(ctx, Name());
   trees_.clear();
   Rng rng(params_.seed);
   double flops = 0.0;
@@ -25,6 +26,9 @@ Status RandomForest::Fit(const Dataset& train, ExecutionContext* ctx) {
       1, static_cast<size_t>(params_.bootstrap_fraction *
                              static_cast<double>(train.num_rows())));
   for (int t = 0; t < params_.num_trees; ++t) {
+    if (ctx->Interrupted()) {
+      return Status::DeadlineExceeded("random_forest: interrupted mid-fit");
+    }
     Rng tree_rng = rng.Fork();
     std::vector<size_t> sample(sample_size);
     for (size_t& s : sample) {
@@ -37,6 +41,9 @@ Status RandomForest::Fit(const Dataset& train, ExecutionContext* ctx) {
   }
   // Independent trees: embarrassingly parallel training.
   ctx->ChargeCpu(flops, train.FeatureBytes(), /*parallel_fraction=*/0.95);
+  if (ctx->Interrupted()) {
+    return Status::DeadlineExceeded("random_forest: interrupted mid-fit");
+  }
   MarkFitted(train.num_classes());
   return Status::Ok();
 }
@@ -44,6 +51,7 @@ Status RandomForest::Fit(const Dataset& train, ExecutionContext* ctx) {
 Result<ProbaMatrix> RandomForest::PredictProba(const Dataset& data,
                                                ExecutionContext* ctx) const {
   if (!fitted()) return Status::FailedPrecondition("forest not fitted");
+  ChargeScope scope(ctx, Name());
   ProbaMatrix total(data.num_rows(),
                     std::vector<double>(
                         static_cast<size_t>(num_classes()), 0.0));

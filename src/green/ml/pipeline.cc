@@ -16,9 +16,13 @@ Status Pipeline::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (model_ == nullptr) {
     return Status::FailedPrecondition("pipeline has no model");
   }
+  ChargeScope scope(ctx, "fit");
   fitted_input_width_ = train.num_features();
   Dataset current = train;
   for (auto& t : transformers_) {
+    if (ctx->Interrupted()) {
+      return Status::DeadlineExceeded("pipeline: interrupted mid-fit");
+    }
     GREEN_RETURN_IF_ERROR(t->Fit(current, ctx));
     GREEN_ASSIGN_OR_RETURN(current, t->Transform(current, ctx));
   }
@@ -39,6 +43,7 @@ Result<Dataset> Pipeline::RunTransforms(const Dataset& data,
 Result<ProbaMatrix> Pipeline::PredictProba(const Dataset& data,
                                            ExecutionContext* ctx) const {
   if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  ChargeScope scope(ctx, "predict");
   GREEN_ASSIGN_OR_RETURN(Dataset transformed, RunTransforms(data, ctx));
   return model_->PredictProba(transformed, ctx);
 }
@@ -46,6 +51,7 @@ Result<ProbaMatrix> Pipeline::PredictProba(const Dataset& data,
 Result<std::vector<int>> Pipeline::Predict(const Dataset& data,
                                            ExecutionContext* ctx) const {
   if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  ChargeScope scope(ctx, "predict");
   GREEN_ASSIGN_OR_RETURN(Dataset transformed, RunTransforms(data, ctx));
   return model_->Predict(transformed, ctx);
 }

@@ -14,6 +14,7 @@ Status QuantileBinner::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (num_bins_ < 2) {
     return Status::InvalidArgument("binner: need at least 2 bins");
   }
+  ChargeScope scope(ctx, Name());
   input_width_ = d;
   edges_.assign(d, {});
 
@@ -48,6 +49,7 @@ Result<Dataset> QuantileBinner::Transform(const Dataset& data,
   if (data.num_features() != input_width_) {
     return Status::InvalidArgument("binner: feature count mismatch");
   }
+  ChargeScope scope(ctx, Name());
   Dataset out = data;
   for (size_t j = 0; j < input_width_; ++j) {
     const std::vector<double>& edges = edges_[j];

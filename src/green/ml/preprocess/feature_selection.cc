@@ -28,6 +28,7 @@ Status VarianceThreshold::Fit(const Dataset& train, ExecutionContext* ctx) {
   const size_t n = train.num_rows();
   const size_t d = train.num_features();
   if (n == 0) return Status::InvalidArgument("selector: empty dataset");
+  ChargeScope scope(ctx, Name());
   input_width_ = d;
   keep_.clear();
   for (size_t j = 0; j < d; ++j) {
@@ -50,6 +51,7 @@ Status VarianceThreshold::Fit(const Dataset& train, ExecutionContext* ctx) {
 
 Result<Dataset> VarianceThreshold::Transform(const Dataset& data,
                                              ExecutionContext* ctx) const {
+  ChargeScope scope(ctx, Name());
   return KeepColumns(data, keep_, input_width_, fitted_, ctx);
 }
 
@@ -58,6 +60,7 @@ Status SelectKBest::Fit(const Dataset& train, ExecutionContext* ctx) {
   const size_t d = train.num_features();
   const int k_classes = train.num_classes();
   if (n == 0) return Status::InvalidArgument("selector: empty dataset");
+  ChargeScope scope(ctx, Name());
   input_width_ = d;
 
   std::vector<double> scores(d, 0.0);
@@ -108,6 +111,7 @@ Status SelectKBest::Fit(const Dataset& train, ExecutionContext* ctx) {
 
 Result<Dataset> SelectKBest::Transform(const Dataset& data,
                                        ExecutionContext* ctx) const {
+  ChargeScope scope(ctx, Name());
   return KeepColumns(data, keep_, input_width_, fitted_, ctx);
 }
 

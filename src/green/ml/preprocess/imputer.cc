@@ -9,6 +9,7 @@ Status MeanModeImputer::Fit(const Dataset& train, ExecutionContext* ctx) {
   const size_t n = train.num_rows();
   const size_t d = train.num_features();
   if (n == 0) return Status::InvalidArgument("imputer: empty dataset");
+  ChargeScope scope(ctx, Name());
   fill_values_.assign(d, 0.0);
 
   for (size_t j = 0; j < d; ++j) {
@@ -51,6 +52,7 @@ Result<Dataset> MeanModeImputer::Transform(const Dataset& data,
   if (data.num_features() != fill_values_.size()) {
     return Status::InvalidArgument("imputer: feature count mismatch");
   }
+  ChargeScope scope(ctx, Name());
   Dataset out = data;
   for (size_t r = 0; r < out.num_rows(); ++r) {
     for (size_t j = 0; j < out.num_features(); ++j) {

@@ -7,6 +7,7 @@
 namespace green {
 
 Status OneHotEncoder::Fit(const Dataset& train, ExecutionContext* ctx) {
+  ChargeScope scope(ctx, Name());
   const size_t d = train.num_features();
   input_width_ = d;
   cardinality_.assign(d, 0);
@@ -40,6 +41,7 @@ Result<Dataset> OneHotEncoder::Transform(const Dataset& data,
   if (data.num_features() != input_width_) {
     return Status::InvalidArgument("one_hot: feature count mismatch");
   }
+  ChargeScope scope(ctx, Name());
   Dataset out(data.name(), output_width_, data.num_classes());
   out.SetNominalSize(data.nominal_rows(), data.nominal_features());
 

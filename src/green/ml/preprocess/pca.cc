@@ -11,6 +11,7 @@ Status Pca::Fit(const Dataset& train, ExecutionContext* ctx) {
   const size_t n = train.num_rows();
   const size_t d = train.num_features();
   if (n < 2) return Status::InvalidArgument("pca: need at least 2 rows");
+  ChargeScope scope(ctx, Name());
   input_width_ = d;
   const size_t k = std::max<size_t>(1, std::min(num_components_, d));
 
@@ -95,6 +96,7 @@ Result<Dataset> Pca::Transform(const Dataset& data,
   if (data.num_features() != input_width_) {
     return Status::InvalidArgument("pca: feature count mismatch");
   }
+  ChargeScope scope(ctx, Name());
   Dataset out(data.name(), components_fitted_, data.num_classes());
   out.SetNominalSize(data.nominal_rows(), data.nominal_features());
   std::vector<double> row(components_fitted_);

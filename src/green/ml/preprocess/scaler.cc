@@ -8,6 +8,7 @@ Status Scaler::Fit(const Dataset& train, ExecutionContext* ctx) {
   const size_t n = train.num_rows();
   const size_t d = train.num_features();
   if (n == 0) return Status::InvalidArgument("scaler: empty dataset");
+  ChargeScope scope(ctx, Name());
   offset_.assign(d, 0.0);
   scale_.assign(d, 1.0);
   apply_.assign(d, false);
@@ -50,6 +51,7 @@ Result<Dataset> Scaler::Transform(const Dataset& data,
   if (data.num_features() != offset_.size()) {
     return Status::InvalidArgument("scaler: feature count mismatch");
   }
+  ChargeScope scope(ctx, Name());
   Dataset out = data;
   for (size_t r = 0; r < out.num_rows(); ++r) {
     for (size_t j = 0; j < out.num_features(); ++j) {

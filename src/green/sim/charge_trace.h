@@ -1,0 +1,59 @@
+#ifndef GREEN_SIM_CHARGE_TRACE_H_
+#define GREEN_SIM_CHARGE_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace green {
+
+/// Process-wide JSONL sink for scope enter/exit events, enabled by
+/// setting GREEN_TRACE=<path> in the environment. Every ChargeScope
+/// emits one "enter" and one "exit" line:
+///
+///   {"ev":"enter","path":"caml/search/pipeline/fit","t":1.25}
+///   {"ev":"exit","path":"caml/search/pipeline/fit","t":1.5,"dt":0.25}
+///
+/// `t` is virtual seconds on the emitting context's clock and `dt` the
+/// virtual duration of the scope. Lines from concurrent sweep workers
+/// are interleaved but each line is written atomically, so the file is
+/// always parseable; pair enter/exit per path to rebuild each tree.
+/// Tracing is off (and free apart from one atomic load per event) when
+/// the variable is unset.
+class ChargeTrace {
+ public:
+  static ChargeTrace& Instance();
+
+  ChargeTrace(const ChargeTrace&) = delete;
+  ChargeTrace& operator=(const ChargeTrace&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Enter(const std::string& path, double now);
+  void Exit(const std::string& path, double now, double duration);
+
+  uint64_t events_written() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-reads GREEN_TRACE and reopens (or closes) the sink. Only used by
+  /// tests; production code inherits the environment at first use.
+  void ReopenFromEnv();
+
+ private:
+  ChargeTrace();
+
+  void WriteLine(const char* event, const std::string& path, double now,
+                 double duration, bool has_duration);
+
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;  // Owned; never closed at exit (singleton).
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> events_{0};
+};
+
+}  // namespace green
+
+#endif  // GREEN_SIM_CHARGE_TRACE_H_

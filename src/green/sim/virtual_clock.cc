@@ -9,4 +9,8 @@ void VirtualClock::Advance(double seconds) {
   now_ += seconds;
 }
 
+void VirtualClock::AdvanceTo(double seconds) {
+  if (seconds > now_) now_ = seconds;
+}
+
 }  // namespace green

@@ -15,6 +15,12 @@ class VirtualClock {
   /// Moves time forward. Negative advances are programming errors.
   void Advance(double seconds);
 
+  /// Moves time forward to at least absolute time `seconds`; no-op when
+  /// already past. Sliced charges step through intermediate targets with
+  /// this so the final slice lands bit-identically on the same
+  /// `start + total_seconds` an unsliced Advance would have produced.
+  void AdvanceTo(double seconds);
+
   /// Resets to t=0 (used between independent experiments).
   void Reset() { now_ = 0.0; }
 
