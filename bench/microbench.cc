@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "green/automl/caml_system.h"
 #include "green/bench_util/experiment.h"
@@ -206,5 +209,75 @@ void BM_EnergyMeterOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_EnergyMeterOverhead);
 
+// Console output plus an optional machine-readable JSON array (one object
+// per measured run: name, iterations, ns_per_op, plus any rate counters
+// such as items_per_second / bytes_per_second) for CI artifacts.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      rows_.push_back(run);
+    }
+  }
+
+  bool WriteJson(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Run& run = rows_[i];
+      const double ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9
+              : run.real_accumulated_time * 1e9;
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"iterations\": %lld, "
+                   "\"ns_per_op\": %.3f",
+                   run.benchmark_name().c_str(),
+                   static_cast<long long>(run.iterations), ns_per_op);
+      for (const auto& [counter_name, counter] : run.counters) {
+        std::fprintf(f, ", \"%s\": %.3f", counter_name.c_str(),
+                     counter.value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<Run> rows_;
+};
+
 }  // namespace
 }  // namespace green
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  green::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !reporter.WriteJson(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -4,7 +4,7 @@
 //
 //   green_automl_cli [--system NAME] [--budget SECONDS] [--csv FILE]
 //                    [--cores N] [--jobs N] [--constraint SECONDS_PER_ROW]
-//                    [--json OUT.jsonl] [--breakdown]
+//                    [--json OUT.jsonl] [--breakdown] [--transform-cache 0|1]
 //                    [--sweep SYS1,SYS2,...] [--budgets B1,B2,...]
 //                    [--journal PATH] [--resume] [--retries N]
 //                    [--cell-timeout SECONDS] [--faults SPEC]
@@ -24,6 +24,11 @@
 //   --breakdown   collect per-scope energy attribution and print the
 //                 hierarchical breakdown table (also: GREEN_SCOPES=1);
 //                 exported records then carry a "scopes" field
+//   --transform-cache 0|1
+//                 memoize fitted transformer chains across search trials
+//                 (default: $GREEN_TRANSFORM_CACHE, else on). Purely a
+//                 host-time optimization — results are bit-identical
+//                 either way; budget via $GREEN_TRANSFORM_CACHE_MB
 //
 // Sweep mode (fault-tolerant, journaled):
 //   --sweep         comma-separated system list; runs a full suite sweep
@@ -102,6 +107,11 @@ int SweepMain(const std::string& sweep_systems,
   if (!failures.empty()) std::printf("%s", failures.c_str());
   const std::string breakdown = RenderEnergyBreakdown(*records);
   if (!breakdown.empty()) std::printf("%s", breakdown.c_str());
+  if (config.transform_cache) {
+    const std::string cache_stats = RenderTransformCacheStats(
+        runner.transform_cache_stats(), config.transform_cache_mb);
+    if (!cache_stats.empty()) std::printf("%s", cache_stats.c_str());
+  }
   const std::vector<RunRecord> measured = OkOnly(*records);
   std::printf("sweep complete: %zu/%zu cells measured ok\n",
               measured.size(), records->size());
@@ -133,6 +143,7 @@ int Main(int argc, char** argv) {
   bool resume = ResumeFromEnv();
   int retries = RetriesFromEnv();
   double cell_timeout = CellTimeoutFromEnv();
+  bool transform_cache = TransformCacheFromEnv();
   std::string faults = FaultsFromEnv();
   bool breakdown = ScopesFromEnv();
   std::string compact_path;
@@ -172,6 +183,8 @@ int Main(int argc, char** argv) {
       faults = next();
     } else if (std::strcmp(argv[i], "--breakdown") == 0) {
       breakdown = true;
+    } else if (std::strcmp(argv[i], "--transform-cache") == 0) {
+      transform_cache = std::atoi(next()) != 0;
     } else if (std::strcmp(argv[i], "--compact-journal") == 0) {
       compact_path = next();
     } else {
@@ -202,6 +215,8 @@ int Main(int argc, char** argv) {
   config.cell_timeout_seconds = cell_timeout;
   config.faults = faults;
   config.collect_scopes = breakdown;
+  config.transform_cache = transform_cache;
+  config.transform_cache_mb = TransformCacheMbFromEnv();
 
   if (!sweep_systems.empty()) {
     return SweepMain(sweep_systems, budgets_arg, config, json_path);

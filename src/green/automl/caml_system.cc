@@ -29,15 +29,18 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
   Rng rng(options.seed);
 
   // Optional up-front sampling (the search-time-specific sampling step
-  // the paper's tuned CAML always selects).
-  Dataset working = train;
+  // the paper's tuned CAML always selects). The no-subsample path works
+  // on the caller's dataset directly — no copy, not even of labels.
+  Dataset sampled;
+  const Dataset& working =
+      params_.sampling_fraction < 1.0 ? sampled : train;
   if (params_.sampling_fraction < 1.0) {
     ChargeScope phase(ctx, "sampling");
     const size_t n = std::max<size_t>(
         static_cast<size_t>(train.num_classes()) * 2,
         static_cast<size_t>(params_.sampling_fraction *
                             static_cast<double>(train.num_rows())));
-    working = train.Subset(SampleRows(train, n, &rng));
+    sampled = train.Subset(SampleRows(train, n, &rng));
     ctx->ChargeCpu(static_cast<double>(working.num_rows()),
                    working.FeatureBytes());
   }

@@ -115,6 +115,7 @@ Result<ProbaMatrix> FittedArtifact::PredictProba(
     augmented.SetFeatureType(j, data.feature_type(j));
     augmented.SetFeatureName(j, data.feature_name(j));
   }
+  augmented.Reserve(data.num_rows());
   std::vector<double> row(aug_width);
   for (size_t i = 0; i < data.num_rows(); ++i) {
     const double* p = data.RowPtr(i);

@@ -110,6 +110,23 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   // --- Layer 1: bagged training with out-of-fold predictions.
   const std::vector<std::vector<size_t>> folds =
       StratifiedKFold(train, k_folds, &rng);
+  // One fit/val view pair per fold, shared by every planned config, so
+  // the transform cache keys on the same storage + row index throughout.
+  std::vector<Dataset> fold_fit;
+  std::vector<Dataset> fold_val;
+  fold_fit.reserve(static_cast<size_t>(k_folds));
+  fold_val.reserve(static_cast<size_t>(k_folds));
+  for (int f = 0; f < k_folds; ++f) {
+    std::vector<size_t> fit_rows;
+    for (int g = 0; g < k_folds; ++g) {
+      if (g == f) continue;
+      fit_rows.insert(fit_rows.end(), folds[static_cast<size_t>(g)].begin(),
+                      folds[static_cast<size_t>(g)].end());
+    }
+    std::sort(fit_rows.begin(), fit_rows.end());
+    fold_fit.push_back(train.Subset(fit_rows));
+    fold_val.push_back(train.Subset(folds[static_cast<size_t>(f)]));
+  }
   std::vector<FittedArtifact::Member> base_members;
   std::vector<PipelineConfig> base_configs;  // Config per successful member.
   std::vector<ProbaMatrix> base_oof;  // One (n x k) matrix per member.
@@ -128,16 +145,8 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
                                                      k_classes)));
     bool ok = true;
     for (int f = 0; f < k_folds; ++f) {
-      std::vector<size_t> fit_rows;
-      for (int g = 0; g < k_folds; ++g) {
-        if (g == f) continue;
-        fit_rows.insert(fit_rows.end(), folds[static_cast<size_t>(g)].begin(),
-                        folds[static_cast<size_t>(g)].end());
-      }
-      std::sort(fit_rows.begin(), fit_rows.end());
-      const Dataset fit_data = train.Subset(fit_rows);
-      const Dataset val_data =
-          train.Subset(folds[static_cast<size_t>(f)]);
+      const Dataset& fit_data = fold_fit[static_cast<size_t>(f)];
+      const Dataset& val_data = fold_val[static_cast<size_t>(f)];
 
       auto built = BuildPipeline(config);
       if (!built.ok()) {
@@ -181,6 +190,7 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   }
   {
     ChargeScope phase(ctx, "stacking");
+    augmented.Reserve(n);
     std::vector<double> row(aug_width);
     for (size_t i = 0; i < n; ++i) {
       const double* p = train.RowPtr(i);

@@ -42,6 +42,25 @@ Result<AutoMlRunResult> TpotSystem::Fit(const Dataset& train,
   const std::vector<std::vector<size_t>> folds =
       StratifiedKFold(train, params_.cv_folds, &rng);
 
+  // Build each fold's fit/val views once; every pipeline evaluation
+  // reuses the same view objects, so the transform cache keys on the
+  // same storage + row index across the whole evolution.
+  std::vector<Dataset> fold_fit;
+  std::vector<Dataset> fold_val;
+  fold_fit.reserve(static_cast<size_t>(params_.cv_folds));
+  fold_val.reserve(static_cast<size_t>(params_.cv_folds));
+  for (int f = 0; f < params_.cv_folds; ++f) {
+    std::vector<size_t> fit_rows;
+    for (int g = 0; g < params_.cv_folds; ++g) {
+      if (g == f) continue;
+      fit_rows.insert(fit_rows.end(), folds[static_cast<size_t>(g)].begin(),
+                      folds[static_cast<size_t>(g)].end());
+    }
+    std::sort(fit_rows.begin(), fit_rows.end());
+    fold_fit.push_back(train.Subset(fit_rows));
+    fold_val.push_back(train.Subset(folds[static_cast<size_t>(f)]));
+  }
+
   AutoMlRunResult result;
   result.configured_budget_seconds = options.search_budget_seconds;
 
@@ -75,17 +94,8 @@ Result<AutoMlRunResult> TpotSystem::Fit(const Dataset& train,
     double complexity = 0.0;
     int folds_done = 0;
     for (int f = 0; f < params_.cv_folds; ++f) {
-      std::vector<size_t> fit_rows;
-      for (int g = 0; g < params_.cv_folds; ++g) {
-        if (g == f) continue;
-        fit_rows.insert(fit_rows.end(),
-                        folds[static_cast<size_t>(g)].begin(),
-                        folds[static_cast<size_t>(g)].end());
-      }
-      std::sort(fit_rows.begin(), fit_rows.end());
-      const Dataset fit_data = train.Subset(fit_rows);
-      const Dataset val_data =
-          train.Subset(folds[static_cast<size_t>(f)]);
+      const Dataset& fit_data = fold_fit[static_cast<size_t>(f)];
+      const Dataset& val_data = fold_val[static_cast<size_t>(f)];
       GREEN_ASSIGN_OR_RETURN(
           EvaluatedPipeline evaluated,
           TrainAndScore(config, fit_data, val_data, ctx));

@@ -76,6 +76,22 @@ bool ScopesFromEnv() {
   return scopes != nullptr && scopes[0] == '1';
 }
 
+bool TransformCacheFromEnv() {
+  const char* cache = std::getenv("GREEN_TRANSFORM_CACHE");
+  return cache == nullptr || cache[0] != '0';
+}
+
+double TransformCacheMbFromEnv() {
+  const double fallback = ExperimentConfig().transform_cache_mb;
+  const char* mb = std::getenv("GREEN_TRANSFORM_CACHE_MB");
+  if (mb == nullptr || mb[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(mb, &end);
+  if (end == mb || *end != '\0') return fallback;
+  if (!(parsed >= 1.0)) return fallback;  // Rejects < 1, NaN.
+  return std::min(parsed, 65536.0);
+}
+
 ExperimentConfig ExperimentConfig::FromEnv() {
   ExperimentConfig config;
   config.profile = SimulationProfile::FromEnv();
@@ -91,6 +107,8 @@ ExperimentConfig ExperimentConfig::FromEnv() {
   config.retry.max_attempts = RetriesFromEnv();
   config.cell_timeout_seconds = CellTimeoutFromEnv();
   config.collect_scopes = ScopesFromEnv();
+  config.transform_cache = TransformCacheFromEnv();
+  config.transform_cache_mb = TransformCacheMbFromEnv();
   return config;
 }
 
@@ -145,7 +163,9 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig& config)
       energy_model_(config.machine),
       tuned_store_(TunedConfigStore::PaperDefaults()),
       faults_(FaultInjector::Lenient(config.faults,
-                                     HashCombine(config.seed, 0xfa17))) {
+                                     HashCombine(config.seed, 0xfa17))),
+      transform_cache_(static_cast<size_t>(
+          std::max(1.0, config.transform_cache_mb) * 1024.0 * 1024.0)) {
   auto suite = InstantiateAmlbSuite(config_.profile, config_.seed,
                                     config_.dataset_limit);
   GREEN_CHECK(suite.ok());
@@ -343,6 +363,7 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   ExecutionContext ctx(&clock, &energy_model_,
                        cores > 0 ? cores : config_.cores);
   ctx.SetCancelToken(cancel);
+  if (config_.transform_cache) ctx.SetTransformCache(&transform_cache_);
 
   AutoMlOptions options;
   options.search_budget_seconds = paper_budget * config_.budget_scale;
@@ -689,6 +710,20 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
       last_sweep_wall_seconds_ > 0.0
           ? static_cast<double>(cells.size()) / last_sweep_wall_seconds_
           : 0.0));
+  if (config_.transform_cache) {
+    const TransformCacheStats cache = transform_cache_.Stats();
+    LogInfo(StrFormat(
+        "transform cache: %llu hit(s), %llu miss(es), %llu predict hit(s), "
+        "%llu predict miss(es), %llu eviction(s), "
+        "%zu entries (%.1f MB of %.0f MB)",
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.predict_hits),
+        static_cast<unsigned long long>(cache.predict_misses),
+        static_cast<unsigned long long>(cache.evictions), cache.entries,
+        static_cast<double>(cache.bytes) / (1024.0 * 1024.0),
+        config_.transform_cache_mb));
+  }
   return records;
 }
 

@@ -15,6 +15,7 @@
 #include "green/data/amlb_suite.h"
 #include "green/energy/machine_model.h"
 #include "green/metaopt/tuned_config_store.h"
+#include "green/ml/transform_cache.h"
 
 namespace green {
 
@@ -60,6 +61,15 @@ struct ExperimentConfig {
   /// written by the fig/table benches stay byte-identical to before the
   /// scope tree existed.
   bool collect_scopes = false;
+  /// Memoize fitted transformer chains across search trials
+  /// (GREEN_TRANSFORM_CACHE=0|1, CLI --transform-cache 0|1). Purely a
+  /// host-time optimization: cache hits replay the recorded charge tape,
+  /// so records, energy totals, and scope trees are bit-identical with
+  /// the cache on or off.
+  bool transform_cache = true;
+  /// Transform-cache byte budget in MB (GREEN_TRANSFORM_CACHE_MB);
+  /// LRU-evicts beyond it.
+  double transform_cache_mb = 256.0;
 
   /// Reads GREEN_FULL to decide between the fast subset and the full
   /// 39-task x 10-repetition configuration, plus GREEN_JOBS,
@@ -92,6 +102,14 @@ double CellTimeoutFromEnv();
 
 /// GREEN_SCOPES: true iff set to a value starting with '1'.
 bool ScopesFromEnv();
+
+/// GREEN_TRANSFORM_CACHE: false iff set to a value starting with '0'
+/// (default on).
+bool TransformCacheFromEnv();
+
+/// GREEN_TRANSFORM_CACHE_MB: cache budget in MB, clamped to [1, 65536];
+/// unset/invalid = 256.
+double TransformCacheMbFromEnv();
 
 /// Where a cell ended up. Every enumerated cell gets exactly one record;
 /// the outcome is the AMLB-style failure taxonomy.
@@ -250,6 +268,12 @@ class ExperimentRunner {
   /// (e.g. PowercapReader).
   const FaultInjector& fault_injector() const { return faults_; }
 
+  /// Hit/miss/eviction counters of the runner's transform cache (all
+  /// zero when config.transform_cache is off).
+  TransformCacheStats transform_cache_stats() const {
+    return transform_cache_.Stats();
+  }
+
  private:
   Status EnsureMetaStore();
 
@@ -262,6 +286,9 @@ class ExperimentRunner {
   /// identical build inputs reuse one immutable store.
   std::shared_ptr<const AsklMetaStore> meta_store_;
   FaultInjector faults_;
+  /// Shared by all cells this runner executes (thread-safe; Sweep workers
+  /// hit it concurrently).
+  TransformCache transform_cache_;
   std::atomic<double> development_kwh_{0.0};
   double last_sweep_wall_seconds_ = 0.0;
   size_t last_sweep_resumed_cells_ = 0;

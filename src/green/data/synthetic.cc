@@ -56,6 +56,7 @@ Result<Dataset> GenerateSynthetic(const SyntheticSpec& spec) {
     data.SetFeatureType(j, FeatureType::kCategorical);
   }
 
+  data.Reserve(spec.num_rows);
   std::vector<double> row(spec.num_features);
   for (size_t r = 0; r < spec.num_rows; ++r) {
     // Round-robin base class guarantees every class is populated, then

@@ -73,6 +73,14 @@ class Transformer {
                                     ExecutionContext* ctx) const = 0;
   virtual std::string Name() const = 0;
 
+  /// Deterministic signature of the transformer's *configuration*
+  /// (constructor parameters, not fitted state). Contract: two
+  /// transformers with equal signatures, fitted on identical data, reach
+  /// identical fitted state — this keys the transform-prefix cache.
+  /// Parameterized transformers MUST override to include every parameter
+  /// that affects Fit/Transform.
+  virtual std::string ConfigSignature() const { return Name(); }
+
   /// Abstract per-row transform cost at inference time.
   virtual double TransformFlopsPerRow(size_t num_features) const = 0;
 

@@ -9,6 +9,8 @@
 
 namespace green {
 
+struct TransformCacheEntry;
+
 /// A preprocessing chain followed by a classifier — the unit every AutoML
 /// system in the paper searches over ("ML pipeline").
 class Pipeline {
@@ -24,6 +26,14 @@ class Pipeline {
   void SetModel(std::unique_ptr<Estimator> model);
 
   /// Fits transformers left-to-right, then the model, charging all work.
+  ///
+  /// When the ExecutionContext carries a TransformCache, the fitted
+  /// transformer chain is memoized by (train storage identity + row view,
+  /// chain config signature). On a hit the host-side refit is skipped and
+  /// the recorded charge tape is replayed instead, so every simulated
+  /// quantity (clock, meter, scope tree) is bit-identical either way. A
+  /// pipeline that adopted cached transformers cannot be refitted — build
+  /// a fresh one (every call site already does).
   Status Fit(const Dataset& train, ExecutionContext* ctx);
 
   Result<ProbaMatrix> PredictProba(const Dataset& data,
@@ -49,9 +59,18 @@ class Pipeline {
   Result<Dataset> RunTransforms(const Dataset& data,
                                 ExecutionContext* ctx) const;
 
-  std::vector<std::unique_ptr<Transformer>> transformers_;
+  /// '|'-joined ConfigSignatures of the transformer chain (cache key).
+  std::string ChainSignature() const;
+
+  /// Shared so a fitted chain can be adopted from / donated to the
+  /// transform cache; unique until the first cache interaction.
+  std::vector<std::shared_ptr<Transformer>> transformers_;
   std::unique_ptr<Estimator> model_;
+  /// The cache entry this pipeline's chain lives in (hit or donated miss);
+  /// enables the predict-path transform memo. Null when uncached.
+  std::shared_ptr<const TransformCacheEntry> cache_entry_;
   bool fitted_ = false;
+  bool cache_adopted_ = false;
   size_t fitted_input_width_ = 0;
 };
 

@@ -51,15 +51,23 @@ Result<Dataset> QuantileBinner::Transform(const Dataset& data,
   }
   ChargeScope scope(ctx, Name());
   Dataset out = data;
-  for (size_t j = 0; j < input_width_; ++j) {
-    const std::vector<double>& edges = edges_[j];
-    if (edges.empty()) continue;
-    for (size_t r = 0; r < out.num_rows(); ++r) {
-      const double v = out.At(r, j);
-      if (std::isnan(v)) continue;
-      const size_t bin = static_cast<size_t>(
-          std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
-      out.Set(r, j, static_cast<double>(bin));
+  // With no learned edges at all the input passes through as a view.
+  const bool any_binned =
+      std::any_of(edges_.begin(), edges_.end(),
+                  [](const std::vector<double>& e) { return !e.empty(); });
+  if (any_binned) {
+    const size_t n = out.num_rows();
+    double* x = out.MutableData();
+    for (size_t j = 0; j < input_width_; ++j) {
+      const std::vector<double>& edges = edges_[j];
+      if (edges.empty()) continue;
+      for (size_t r = 0; r < n; ++r) {
+        double& v = x[r * input_width_ + j];
+        if (std::isnan(v)) continue;
+        v = static_cast<double>(
+            std::upper_bound(edges.begin(), edges.end(), v) -
+            edges.begin());
+      }
     }
   }
   ctx->ChargeCpu(static_cast<double>(out.num_rows() * input_width_) *

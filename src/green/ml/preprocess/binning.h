@@ -21,6 +21,9 @@ class QuantileBinner : public Transformer {
   Result<Dataset> Transform(const Dataset& data,
                             ExecutionContext* ctx) const override;
   std::string Name() const override { return "quantile_binner"; }
+  std::string ConfigSignature() const override {
+    return "quantile_binner(" + std::to_string(num_bins_) + ")";
+  }
   double TransformFlopsPerRow(size_t num_features) const override {
     return static_cast<double>(num_features) *
            std::max(1.0, std::log2(static_cast<double>(num_bins_)));

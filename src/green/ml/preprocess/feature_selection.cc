@@ -4,7 +4,15 @@
 #include <cmath>
 #include <numeric>
 
+#include "green/common/stringutil.h"
+
 namespace green {
+
+std::string VarianceThreshold::ConfigSignature() const {
+  // %.17g round-trips the double exactly: distinct thresholds can never
+  // share a cache key.
+  return StrFormat("variance_threshold(%.17g)", threshold_);
+}
 
 namespace {
 

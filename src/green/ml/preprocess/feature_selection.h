@@ -17,6 +17,7 @@ class VarianceThreshold : public Transformer {
   Result<Dataset> Transform(const Dataset& data,
                             ExecutionContext* ctx) const override;
   std::string Name() const override { return "variance_threshold"; }
+  std::string ConfigSignature() const override;
   double TransformFlopsPerRow(size_t num_features) const override {
     return static_cast<double>(keep_.size());
   }
@@ -45,6 +46,9 @@ class SelectKBest : public Transformer {
   Result<Dataset> Transform(const Dataset& data,
                             ExecutionContext* ctx) const override;
   std::string Name() const override { return "select_k_best"; }
+  std::string ConfigSignature() const override {
+    return "select_k_best(" + std::to_string(k_) + ")";
+  }
   double TransformFlopsPerRow(size_t num_features) const override {
     return static_cast<double>(keep_.size());
   }

@@ -54,9 +54,27 @@ Result<Dataset> MeanModeImputer::Transform(const Dataset& data,
   }
   ChargeScope scope(ctx, Name());
   Dataset out = data;
-  for (size_t r = 0; r < out.num_rows(); ++r) {
-    for (size_t j = 0; j < out.num_features(); ++j) {
-      if (std::isnan(out.At(r, j))) out.Set(r, j, fill_values_[j]);
+  const size_t n = data.num_rows();
+  const size_t d = data.num_features();
+  // Scan first: NaN-free data (the common case) passes through as a view
+  // with no copy at all.
+  bool has_nan = false;
+  for (size_t r = 0; r < n && !has_nan; ++r) {
+    const double* row = data.RowPtr(r);
+    for (size_t j = 0; j < d; ++j) {
+      if (std::isnan(row[j])) {
+        has_nan = true;
+        break;
+      }
+    }
+  }
+  if (has_nan) {
+    double* x = out.MutableData();
+    for (size_t r = 0; r < n; ++r) {
+      double* row = x + r * d;
+      for (size_t j = 0; j < d; ++j) {
+        if (std::isnan(row[j])) row[j] = fill_values_[j];
+      }
     }
   }
   ctx->ChargeCpu(static_cast<double>(out.num_rows() * out.num_features()),

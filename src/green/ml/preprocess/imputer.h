@@ -16,6 +16,8 @@ class MeanModeImputer : public Transformer {
   Result<Dataset> Transform(const Dataset& data,
                             ExecutionContext* ctx) const override;
   std::string Name() const override { return "imputer"; }
+  // Parameter-free; the name is the whole configuration.
+  std::string ConfigSignature() const override { return Name(); }
   double TransformFlopsPerRow(size_t num_features) const override {
     return static_cast<double>(num_features);
   }

@@ -42,8 +42,30 @@ Result<Dataset> OneHotEncoder::Transform(const Dataset& data,
     return Status::InvalidArgument("one_hot: feature count mismatch");
   }
   ChargeScope scope(ctx, Name());
+
+  // Identity shortcut: nothing to encode and every input column is
+  // already numeric, so the output would be a column-for-column copy.
+  // Return the input as a view instead of rebuilding it row by row.
+  if (output_width_ == input_width_) {
+    bool identity = true;
+    for (size_t j = 0; j < input_width_; ++j) {
+      if (cardinality_[j] != 0 ||
+          data.feature_type(j) != FeatureType::kNumeric) {
+        identity = false;
+        break;
+      }
+    }
+    if (identity) {
+      Dataset out = data;
+      ctx->ChargeCpu(static_cast<double>(data.num_rows() * output_width_),
+                     out.FeatureBytes());
+      return out;
+    }
+  }
+
   Dataset out(data.name(), output_width_, data.num_classes());
   out.SetNominalSize(data.nominal_rows(), data.nominal_features());
+  out.Reserve(data.num_rows());
 
   // Name and type the output columns once.
   {

@@ -20,6 +20,9 @@ class OneHotEncoder : public Transformer {
   Result<Dataset> Transform(const Dataset& data,
                             ExecutionContext* ctx) const override;
   std::string Name() const override { return "one_hot"; }
+  std::string ConfigSignature() const override {
+    return "one_hot(" + std::to_string(max_cardinality_) + ")";
+  }
   double TransformFlopsPerRow(size_t num_features) const override {
     return static_cast<double>(output_width_ > 0
                                    ? output_width_

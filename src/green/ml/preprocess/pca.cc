@@ -99,13 +99,15 @@ Result<Dataset> Pca::Transform(const Dataset& data,
   ChargeScope scope(ctx, Name());
   Dataset out(data.name(), components_fitted_, data.num_classes());
   out.SetNominalSize(data.nominal_rows(), data.nominal_features());
+  out.Reserve(data.num_rows());
   std::vector<double> row(components_fitted_);
   for (size_t r = 0; r < data.num_rows(); ++r) {
+    const double* in = data.RowPtr(r);
     for (size_t c = 0; c < components_fitted_; ++c) {
       const double* comp = &components_[c * input_width_];
       double s = 0.0;
       for (size_t j = 0; j < input_width_; ++j) {
-        s += (data.At(r, j) - mean_[j]) * comp[j];
+        s += (in[j] - mean_[j]) * comp[j];
       }
       row[c] = s;
     }

@@ -24,6 +24,11 @@ class Pca : public Transformer {
   Result<Dataset> Transform(const Dataset& data,
                             ExecutionContext* ctx) const override;
   std::string Name() const override { return "pca"; }
+  std::string ConfigSignature() const override {
+    return "pca(" + std::to_string(num_components_) + "," +
+           std::to_string(power_iterations_) + "," +
+           std::to_string(seed_) + ")";
+  }
   double TransformFlopsPerRow(size_t num_features) const override {
     return 2.0 * static_cast<double>(num_features) *
            static_cast<double>(components_fitted_);

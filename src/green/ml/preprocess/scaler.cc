@@ -1,5 +1,6 @@
 #include "green/ml/preprocess/scaler.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace green {
@@ -53,11 +54,19 @@ Result<Dataset> Scaler::Transform(const Dataset& data,
   }
   ChargeScope scope(ctx, Name());
   Dataset out = data;
-  for (size_t r = 0; r < out.num_rows(); ++r) {
-    for (size_t j = 0; j < out.num_features(); ++j) {
-      if (!apply_[j]) continue;
-      const double v = out.At(r, j);
-      if (!std::isnan(v)) out.Set(r, j, (v - offset_[j]) / scale_[j]);
+  const bool any_scaled =
+      std::find(apply_.begin(), apply_.end(), true) != apply_.end();
+  if (any_scaled) {  // All-categorical input passes through as a view.
+    const size_t n = out.num_rows();
+    const size_t d = out.num_features();
+    double* x = out.MutableData();
+    for (size_t r = 0; r < n; ++r) {
+      double* row = x + r * d;
+      for (size_t j = 0; j < d; ++j) {
+        if (!apply_[j]) continue;
+        const double v = row[j];
+        if (!std::isnan(v)) row[j] = (v - offset_[j]) / scale_[j];
+      }
     }
   }
   ctx->ChargeCpu(2.0 * static_cast<double>(out.num_rows() *

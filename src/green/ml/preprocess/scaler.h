@@ -22,6 +22,8 @@ class Scaler : public Transformer {
     return kind_ == ScalerKind::kStandard ? "standard_scaler"
                                           : "minmax_scaler";
   }
+  // Name() already encodes the only parameter (the kind).
+  std::string ConfigSignature() const override { return Name(); }
   double TransformFlopsPerRow(size_t num_features) const override {
     return 2.0 * static_cast<double>(num_features);
   }

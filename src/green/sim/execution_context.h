@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "green/common/cancel.h"
 #include "green/energy/energy_meter.h"
@@ -15,6 +16,24 @@
 namespace green {
 
 class ChargeScope;
+class TransformCache;
+
+/// One completed charge, recorded relative to the scope path that was
+/// active when tape recording started ("" = at the base path itself).
+struct ChargeTapeEntry {
+  std::string rel_path;
+  Work work;
+};
+
+/// A recorded sequence of completed charges. Replaying a tape re-issues
+/// each Work through Charge() at the recorded relative scope path, so the
+/// clock, meter, counters, and slicing behave bit-identically to the
+/// original computation (WorkExecution is a pure function of the Work and
+/// the machine model — the tape stores only the Work).
+struct ChargeTape {
+  std::vector<ChargeTapeEntry> entries;
+  size_t ApproxBytes() const;
+};
 
 /// The handle every instrumented kernel threads through.
 ///
@@ -120,6 +139,24 @@ class ExecutionContext {
   const EnergyModel* model() const { return model_; }
   WorkCounter* counter() { return &counter_; }
 
+  // --- charge tape (transform-cache record/replay) ---
+  /// Starts recording completed charges into `tape`, with scope paths
+  /// stored relative to the current path. Returns false (and records
+  /// nothing) if a recording is already active — tapes don't nest.
+  bool StartTapeRecording(ChargeTape* tape);
+  void StopTapeRecording() { tape_ = nullptr; }
+
+  /// Re-issues every charge on the tape at its recorded relative scope
+  /// path. Stops early if a charge is truncated (cancellation / hard
+  /// deadline), exactly like the original computation would have. Returns
+  /// the virtual seconds consumed. Never records into an active tape.
+  double ReplayTape(const ChargeTape& tape);
+
+  /// The transform cache runs attach so Pipeline::Fit can memoize fitted
+  /// transformer prefixes (null = caching disabled). Not owned.
+  void SetTransformCache(TransformCache* cache) { transform_cache_ = cache; }
+  TransformCache* transform_cache() const { return transform_cache_; }
+
   static constexpr double kDefaultMaxSliceSeconds = 0.05;
   static constexpr int kMaxSlicesPerCharge = 4096;
 
@@ -148,6 +185,9 @@ class ExecutionContext {
   std::string scope_path_;
   size_t scope_depth_ = 0;
   WorkCounter counter_;
+  ChargeTape* tape_ = nullptr;  // Not owned; non-null while recording.
+  size_t tape_base_length_ = 0;
+  TransformCache* transform_cache_ = nullptr;  // Not owned.
 };
 
 /// RAII scope segment: pushes `name` onto the context's scope path for

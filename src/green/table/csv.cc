@@ -99,6 +99,7 @@ Result<Dataset> FromCsvString(const std::string& text,
     }
     data.SetFeatureName(j, col_name);
   }
+  data.Reserve(rows.size());
   for (size_t r = 0; r < rows.size(); ++r) {
     GREEN_RETURN_IF_ERROR(data.AppendRow(rows[r], labels[r]));
   }

@@ -1,6 +1,7 @@
 #include "green/table/dataset.h"
 
 #include "green/common/logging.h"
+#include "green/common/rng.h"
 #include "green/common/stringutil.h"
 
 namespace green {
@@ -8,12 +9,32 @@ namespace green {
 Dataset::Dataset(std::string name, size_t num_features, int num_classes)
     : name_(std::move(name)),
       num_features_(num_features),
-      num_classes_(num_classes) {
-  feature_types_.assign(num_features, FeatureType::kNumeric);
-  feature_names_.reserve(num_features);
+      num_classes_(num_classes),
+      storage_(std::make_shared<Storage>()) {
+  storage_->feature_types.assign(num_features, FeatureType::kNumeric);
+  storage_->feature_names.reserve(num_features);
   for (size_t j = 0; j < num_features; ++j) {
-    feature_names_.push_back(StrFormat("f%zu", j));
+    storage_->feature_names.push_back(StrFormat("f%zu", j));
   }
+}
+
+void Dataset::EnsureOwned() {
+  if (storage_ != nullptr && row_index_ == nullptr &&
+      storage_.use_count() == 1) {
+    return;
+  }
+  auto fresh = std::make_shared<Storage>();
+  if (storage_ != nullptr) {
+    fresh->feature_types = storage_->feature_types;
+    fresh->feature_names = storage_->feature_names;
+    fresh->x.reserve(num_rows() * num_features_);
+    for (size_t r = 0; r < num_rows(); ++r) {
+      const double* p = RowPtr(r);
+      fresh->x.insert(fresh->x.end(), p, p + num_features_);
+    }
+  }
+  storage_ = std::move(fresh);
+  row_index_ = nullptr;
 }
 
 Status Dataset::AppendRow(const std::vector<double>& features, int label) {
@@ -26,19 +47,28 @@ Status Dataset::AppendRow(const std::vector<double>& features, int label) {
     return Status::InvalidArgument(
         StrFormat("label %d out of range [0, %d)", label, num_classes_));
   }
-  x_.insert(x_.end(), features.begin(), features.end());
+  EnsureOwned();
+  storage_->x.insert(storage_->x.end(), features.begin(), features.end());
   labels_.push_back(label);
   return Status::Ok();
 }
 
+void Dataset::Reserve(size_t rows) {
+  EnsureOwned();
+  storage_->x.reserve(rows * num_features_);
+  labels_.reserve(rows);
+}
+
 void Dataset::SetFeatureType(size_t j, FeatureType type) {
   GREEN_CHECK(j < num_features_);
-  feature_types_[j] = type;
+  EnsureOwned();
+  storage_->feature_types[j] = type;
 }
 
 void Dataset::SetFeatureName(size_t j, std::string name) {
   GREEN_CHECK(j < num_features_);
-  feature_names_[j] = std::move(name);
+  EnsureOwned();
+  storage_->feature_names[j] = std::move(name);
 }
 
 void Dataset::SetNominalSize(int64_t rows, int64_t features) {
@@ -59,8 +89,9 @@ std::vector<double> Dataset::Row(size_t row) const {
 }
 
 size_t Dataset::NumCategorical() const {
+  if (storage_ == nullptr) return 0;
   size_t n = 0;
-  for (FeatureType t : feature_types_) {
+  for (FeatureType t : storage_->feature_types) {
     if (t == FeatureType::kCategorical) ++n;
   }
   return n;
@@ -73,19 +104,22 @@ std::vector<int> Dataset::ClassCounts() const {
 }
 
 Dataset Dataset::Subset(const std::vector<size_t>& rows) const {
-  Dataset out(name_, num_features_, num_classes_);
-  out.feature_types_ = feature_types_;
-  out.feature_names_ = feature_names_;
+  Dataset out;
+  out.name_ = name_;
+  out.num_features_ = num_features_;
+  out.num_classes_ = num_classes_;
   out.nominal_rows_ = nominal_rows_;
   out.nominal_features_ = nominal_features_;
-  out.x_.reserve(rows.size() * num_features_);
+  out.storage_ = storage_;
+  auto index = std::make_shared<std::vector<size_t>>();
+  index->reserve(rows.size());
   out.labels_.reserve(rows.size());
   for (size_t r : rows) {
     GREEN_CHECK(r < num_rows());
-    const double* p = RowPtr(r);
-    out.x_.insert(out.x_.end(), p, p + num_features_);
+    index->push_back(PhysRow(r));  // Compose views: map through our index.
     out.labels_.push_back(labels_[r]);
   }
+  out.row_index_ = std::move(index);
   return out;
 }
 
@@ -93,19 +127,28 @@ Dataset Dataset::SelectFeatures(const std::vector<size_t>& cols) const {
   Dataset out(name_, cols.size(), num_classes_);
   for (size_t k = 0; k < cols.size(); ++k) {
     GREEN_CHECK(cols[k] < num_features_);
-    out.feature_types_[k] = feature_types_[cols[k]];
-    out.feature_names_[k] = feature_names_[cols[k]];
+    out.storage_->feature_types[k] = storage_->feature_types[cols[k]];
+    out.storage_->feature_names[k] = storage_->feature_names[cols[k]];
   }
   out.nominal_rows_ = nominal_rows_;
   out.nominal_features_ = nominal_features_;
-  out.x_.resize(num_rows() * cols.size());
+  out.storage_->x.resize(num_rows() * cols.size());
   out.labels_ = labels_;
   for (size_t r = 0; r < num_rows(); ++r) {
     for (size_t k = 0; k < cols.size(); ++k) {
-      out.x_[r * cols.size() + k] = At(r, cols[k]);
+      out.storage_->x[r * cols.size() + k] = At(r, cols[k]);
     }
   }
   return out;
+}
+
+uint64_t Dataset::ViewFingerprint() const {
+  uint64_t h = HashCombine(0x9e3779b97f4a7c15ull, num_rows());
+  h = HashCombine(h, num_features_);
+  if (row_index_ != nullptr) {
+    for (size_t r : *row_index_) h = HashCombine(h, r);
+  }
+  return h;
 }
 
 }  // namespace green

@@ -1,6 +1,8 @@
 #ifndef GREEN_TABLE_DATASET_H_
 #define GREEN_TABLE_DATASET_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,15 @@ namespace green {
 /// size of the task they represent (e.g. covertype's 581,012 rows). The
 /// energy cost model can extrapolate to nominal scale while learning runs
 /// on the instantiated sample; see DESIGN.md §3.
+///
+/// Storage model: the feature matrix and per-column metadata live behind a
+/// shared immutable block, so copying a Dataset is O(rows) (labels only)
+/// and `Subset` returns an O(rows) *view* — a row-index indirection over
+/// the same storage — instead of a dense copy. Mutators (`Set`,
+/// `AppendRow`, `SetFeatureType`, `SetFeatureName`) copy-on-write: they
+/// first collapse the view / unshare the storage, so no mutation is ever
+/// visible through another Dataset. `Materialize()` collapses a view into
+/// owned dense storage explicitly for code that wants contiguity.
 class Dataset {
  public:
   Dataset() = default;
@@ -25,6 +36,10 @@ class Dataset {
   // --- construction ---
   /// Appends one labeled row. `features.size()` must equal num_features().
   Status AppendRow(const std::vector<double>& features, int label);
+
+  /// Pre-allocates capacity for `rows` total rows (copy-on-write first, so
+  /// a view materializes once instead of growing geometrically from zero).
+  void Reserve(size_t rows);
 
   void SetFeatureType(size_t j, FeatureType type);
   void SetFeatureName(size_t j, std::string name);
@@ -45,20 +60,31 @@ class Dataset {
 
   // --- access ---
   double At(size_t row, size_t col) const {
-    return x_[row * num_features_ + col];
+    return storage_->x[PhysRow(row) * num_features_ + col];
   }
   void Set(size_t row, size_t col, double v) {
-    x_[row * num_features_ + col] = v;
+    EnsureOwned();
+    storage_->x[row * num_features_ + col] = v;
+  }
+  /// Direct mutable access to the dense row-major matrix. Materializes
+  /// (CoW) once, so element-wise transform loops pay one ownership check
+  /// instead of one per Set(). The pointer is invalidated by the next
+  /// mutation or copy of this Dataset.
+  double* MutableData() {
+    EnsureOwned();
+    return storage_->x.data();
   }
   int Label(size_t row) const { return labels_[row]; }
   const std::vector<int>& labels() const { return labels_; }
   const double* RowPtr(size_t row) const {
-    return x_.data() + row * num_features_;
+    return storage_->x.data() + PhysRow(row) * num_features_;
   }
   std::vector<double> Row(size_t row) const;
-  FeatureType feature_type(size_t j) const { return feature_types_[j]; }
+  FeatureType feature_type(size_t j) const {
+    return storage_->feature_types[j];
+  }
   const std::string& feature_name(size_t j) const {
-    return feature_names_[j];
+    return storage_->feature_names[j];
   }
 
   /// Number of categorical features.
@@ -67,26 +93,65 @@ class Dataset {
   /// Count of rows per class.
   std::vector<int> ClassCounts() const;
 
-  /// New dataset containing the given rows (in order).
+  /// New dataset containing the given rows (in order). O(rows): returns a
+  /// view sharing this dataset's feature storage.
   Dataset Subset(const std::vector<size_t>& rows) const;
 
   /// New dataset containing the given feature columns (in order), same
-  /// rows and labels.
+  /// rows and labels. Materializes (column selection changes row layout).
   Dataset SelectFeatures(const std::vector<size_t>& cols) const;
 
-  /// Approximate in-memory footprint of the feature matrix in bytes.
+  /// Logical in-memory footprint of the feature matrix in bytes. Views
+  /// report the same value as an equivalent dense copy, so modeled work
+  /// is independent of the storage representation.
   double FeatureBytes() const {
-    return static_cast<double>(x_.size()) * sizeof(double);
+    return static_cast<double>(num_rows()) *
+           static_cast<double>(num_features_) * sizeof(double);
   }
 
+  // --- storage identity (views / caching) ---
+  /// True when rows are accessed through an index indirection.
+  bool IsView() const { return row_index_ != nullptr; }
+
+  /// Collapses a view (or shared storage) into owned dense storage.
+  void Materialize() { EnsureOwned(); }
+
+  /// Identity of the shared feature storage; two datasets with equal
+  /// StorageId see the same underlying matrix. Null for an empty default-
+  /// constructed dataset. Valid only while either dataset is alive.
+  const void* StorageId() const { return storage_.get(); }
+
+  /// The row-index indirection, or nullptr when rows are contiguous.
+  const std::vector<size_t>* RowIndex() const { return row_index_.get(); }
+
+  /// Order-sensitive hash of (rows, features, row indices) — a cheap view
+  /// fingerprint for cache keys. Callers needing exactness must still
+  /// compare RowIndex() contents (see TransformCache).
+  uint64_t ViewFingerprint() const;
+
  private:
+  /// Immutable once shared; mutation goes through EnsureOwned().
+  struct Storage {
+    std::vector<double> x;  // Row-major, physical_rows * num_features.
+    std::vector<FeatureType> feature_types;
+    std::vector<std::string> feature_names;
+  };
+
+  size_t PhysRow(size_t row) const {
+    return row_index_ == nullptr ? row : (*row_index_)[row];
+  }
+
+  /// Copy-on-write: after this call, storage is non-null, uniquely owned,
+  /// dense (no row index), and safe to mutate.
+  void EnsureOwned();
+
   std::string name_;
   size_t num_features_ = 0;
   int num_classes_ = 0;
-  std::vector<double> x_;  // Row-major, num_rows * num_features.
-  std::vector<int> labels_;
-  std::vector<FeatureType> feature_types_;
-  std::vector<std::string> feature_names_;
+  std::shared_ptr<Storage> storage_;
+  /// Maps logical row -> physical row in storage. Null = identity.
+  std::shared_ptr<const std::vector<size_t>> row_index_;
+  std::vector<int> labels_;  // Per-view: labels_[i] labels logical row i.
   int64_t nominal_rows_ = 0;
   int64_t nominal_features_ = 0;
 };

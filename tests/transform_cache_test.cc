@@ -1,0 +1,365 @@
+// Tests for zero-copy dataset views and the charge-replaying transform
+// cache: CoW semantics, tape record/replay bit-identity, pipeline-level
+// cache hits, LRU byte bounding, truncation safety, config signatures,
+// and end-to-end record/scope-tree identity with the cache on vs off and
+// across host worker counts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "green/bench_util/experiment.h"
+#include "green/bench_util/record_io.h"
+#include "green/data/synthetic.h"
+#include "green/ml/models/decision_tree.h"
+#include "green/ml/pipeline.h"
+#include "green/ml/preprocess/binning.h"
+#include "green/ml/preprocess/feature_selection.h"
+#include "green/ml/preprocess/imputer.h"
+#include "green/ml/preprocess/one_hot.h"
+#include "green/ml/preprocess/pca.h"
+#include "green/ml/preprocess/scaler.h"
+#include "green/ml/transform_cache.h"
+#include "green/sim/execution_context.h"
+#include "green/table/dataset.h"
+
+namespace green {
+namespace {
+
+Dataset TestData(size_t rows, size_t features, int classes,
+                 uint64_t seed = 7) {
+  SyntheticSpec spec;
+  spec.name = "tcache";
+  spec.num_rows = rows;
+  spec.num_features = features;
+  spec.num_informative = features / 2;
+  spec.num_classes = classes;
+  spec.seed = seed;
+  auto data = GenerateSynthetic(spec);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+// --- Dataset views / copy-on-write -----------------------------------
+
+TEST(DatasetViewTest, SubsetIsAnO1StorageView) {
+  const Dataset base = TestData(50, 6, 2);
+  const Dataset view = base.Subset({3, 1, 4, 1, 40});
+  EXPECT_TRUE(view.IsView());
+  EXPECT_EQ(view.StorageId(), base.StorageId());
+  EXPECT_EQ(view.num_rows(), 5u);
+  EXPECT_EQ(view.num_features(), base.num_features());
+  for (size_t j = 0; j < base.num_features(); ++j) {
+    EXPECT_EQ(view.At(0, j), base.At(3, j));
+    EXPECT_EQ(view.At(1, j), base.At(1, j));
+    EXPECT_EQ(view.At(3, j), base.At(1, j));
+    EXPECT_EQ(view.At(4, j), base.At(40, j));
+  }
+  EXPECT_EQ(view.Label(4), base.Label(40));
+  // Views compose: a subset of a view maps through to the base rows.
+  const Dataset nested = view.Subset({4, 0});
+  EXPECT_EQ(nested.StorageId(), base.StorageId());
+  EXPECT_EQ(nested.At(0, 0), base.At(40, 0));
+  EXPECT_EQ(nested.At(1, 0), base.At(3, 0));
+}
+
+TEST(DatasetViewTest, MutationCopiesOnWriteAndNeverLeaks) {
+  Dataset base = TestData(20, 4, 2);
+  Dataset copy = base;
+  EXPECT_EQ(copy.StorageId(), base.StorageId());  // Shared until mutated.
+  const double before = base.At(0, 0);
+  copy.Set(0, 0, before + 100.0);
+  EXPECT_NE(copy.StorageId(), base.StorageId());
+  EXPECT_EQ(base.At(0, 0), before);
+  EXPECT_EQ(copy.At(0, 0), before + 100.0);
+
+  Dataset view = base.Subset({5, 6});
+  view.Set(1, 2, -77.0);
+  EXPECT_FALSE(view.IsView());  // Collapsed by the write.
+  EXPECT_EQ(view.At(1, 2), -77.0);
+  EXPECT_NE(base.At(6, 2), -77.0);
+}
+
+TEST(DatasetViewTest, MaterializeCollapsesAndRoundTrips) {
+  const Dataset base = TestData(30, 5, 3);
+  Dataset view = base.Subset({2, 9, 17});
+  Dataset dense = view;
+  dense.Materialize();
+  EXPECT_FALSE(dense.IsView());
+  EXPECT_NE(dense.StorageId(), base.StorageId());
+  ASSERT_EQ(dense.num_rows(), view.num_rows());
+  for (size_t r = 0; r < dense.num_rows(); ++r) {
+    EXPECT_EQ(dense.Label(r), view.Label(r));
+    for (size_t j = 0; j < dense.num_features(); ++j) {
+      EXPECT_EQ(dense.At(r, j), view.At(r, j));
+    }
+  }
+  // Modeled footprint is representation-independent.
+  EXPECT_EQ(dense.FeatureBytes(), view.FeatureBytes());
+}
+
+TEST(DatasetViewTest, ViewFingerprintSeparatesDistinctViews) {
+  const Dataset base = TestData(25, 4, 2);
+  EXPECT_NE(base.Subset({1, 2, 3}).ViewFingerprint(),
+            base.Subset({3, 2, 1}).ViewFingerprint());
+  EXPECT_EQ(base.Subset({1, 2, 3}).ViewFingerprint(),
+            base.Subset({1, 2, 3}).ViewFingerprint());
+}
+
+// --- Charge tape record / replay -------------------------------------
+
+TEST(ChargeTapeTest, ReplayIsBitIdenticalToRecording) {
+  EnergyModel model(MachineModel::Minimal());
+  VirtualClock clock_a, clock_b;
+  ExecutionContext recorded(&clock_a, &model, 1);
+  ExecutionContext replayed(&clock_b, &model, 1);
+  EnergyMeter meter_a(&model), meter_b(&model);
+  meter_a.Start(0.0);
+  meter_b.Start(0.0);
+  recorded.SetMeter(&meter_a);
+  replayed.SetMeter(&meter_b);
+
+  ChargeTape tape;
+  {
+    ChargeScope fit(&recorded, "fit");
+    ASSERT_TRUE(recorded.StartTapeRecording(&tape));
+    {
+      ChargeScope t(&recorded, "scaler");
+      recorded.ChargeCpu(3e6, 128.0);
+    }
+    {
+      ChargeScope t(&recorded, "pca");
+      recorded.ChargeCpu(7e6, 256.0, /*parallel_fraction=*/0.85);
+      recorded.ChargeCpu(1e5, 0.0);
+    }
+    recorded.StopTapeRecording();
+  }
+  ASSERT_EQ(tape.entries.size(), 3u);
+  EXPECT_GT(tape.ApproxBytes(), 0u);
+
+  {
+    ChargeScope fit(&replayed, "fit");
+    replayed.ReplayTape(tape);
+  }
+
+  EXPECT_EQ(replayed.Now(), recorded.Now());
+  const EnergyReading a = meter_a.Stop(recorded.Now());
+  const EnergyReading b = meter_b.Stop(replayed.Now());
+  EXPECT_EQ(a.breakdown.TotalJoules(), b.breakdown.TotalJoules());
+  ASSERT_EQ(a.scopes.size(), b.scopes.size());
+  for (const auto& [path, charge] : a.scopes) {
+    ASSERT_EQ(b.scopes.count(path), 1u) << path;
+    EXPECT_EQ(b.scopes.at(path).joules, charge.joules) << path;
+    EXPECT_EQ(b.scopes.at(path).seconds, charge.seconds) << path;
+    EXPECT_EQ(b.scopes.at(path).charges, charge.charges) << path;
+  }
+}
+
+// --- Pipeline-level cache behavior -----------------------------------
+
+Pipeline MakePipeline() {
+  Pipeline p;
+  p.AddTransformer(std::make_unique<MeanModeImputer>());
+  p.AddTransformer(std::make_unique<Scaler>(ScalerKind::kStandard));
+  DecisionTreeParams params;
+  params.max_depth = 4;
+  p.SetModel(std::make_unique<DecisionTree>(params));
+  return p;
+}
+
+TEST(TransformCachePipelineTest, HitIsBitIdenticalAndSkipsRefit) {
+  const Dataset base = TestData(120, 6, 2);
+  const Dataset train = base.Subset({0,  1,  2,  3,  4,  5,  6,  7,
+                                     8,  9,  10, 11, 12, 13, 14, 15,
+                                     16, 17, 18, 19, 20, 21, 22, 23});
+  const Dataset test = base.Subset({30, 31, 32, 33, 34, 35, 36, 37});
+  EnergyModel model(MachineModel::Minimal());
+  TransformCache cache(64 * 1024 * 1024);
+
+  auto run = [&](TransformCache* c) {
+    VirtualClock clock;
+    ExecutionContext ctx(&clock, &model, 1);
+    EnergyMeter meter(&model);
+    meter.Start(0.0);
+    ctx.SetMeter(&meter);
+    if (c != nullptr) ctx.SetTransformCache(c);
+    Pipeline p = MakePipeline();
+    EXPECT_TRUE(p.Fit(train, &ctx).ok());
+    auto pred = p.Predict(test, &ctx);
+    EXPECT_TRUE(pred.ok());
+    return std::make_tuple(ctx.Now(), meter.Stop(ctx.Now()),
+                           std::move(pred).value());
+  };
+
+  const auto cold = run(&cache);      // Miss: fits and records.
+  const auto warm = run(&cache);      // Hit: replays the tape.
+  const auto uncached = run(nullptr);  // No cache at all.
+
+  const TransformCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.insertions, 1u);
+  EXPECT_EQ(stats.predict_hits, 1u);
+
+  EXPECT_EQ(std::get<0>(cold), std::get<0>(warm));
+  EXPECT_EQ(std::get<0>(cold), std::get<0>(uncached));
+  EXPECT_EQ(std::get<1>(cold).breakdown.TotalJoules(),
+            std::get<1>(warm).breakdown.TotalJoules());
+  EXPECT_EQ(std::get<1>(cold).breakdown.TotalJoules(),
+            std::get<1>(uncached).breakdown.TotalJoules());
+  EXPECT_EQ(std::get<2>(cold), std::get<2>(warm));
+  EXPECT_EQ(std::get<2>(cold), std::get<2>(uncached));
+}
+
+TEST(TransformCachePipelineTest, AdoptedPipelineRefusesRefit) {
+  const Dataset train = TestData(60, 5, 2);
+  EnergyModel model(MachineModel::Minimal());
+  TransformCache cache(16 * 1024 * 1024);
+  VirtualClock clock;
+  ExecutionContext ctx(&clock, &model, 1);
+  ctx.SetTransformCache(&cache);
+
+  Pipeline p = MakePipeline();
+  ASSERT_TRUE(p.Fit(train, &ctx).ok());
+  // The chain was donated to the cache on the miss: the pipeline now
+  // shares transformer instances with it and must refuse a refit.
+  EXPECT_EQ(p.Fit(train, &ctx).code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(TransformCachePipelineTest, TruncatedFitIsNeverMemoized) {
+  const Dataset train = TestData(200, 8, 2);
+  EnergyModel model(MachineModel::Minimal());
+  TransformCache cache(16 * 1024 * 1024);
+  VirtualClock clock;
+  ExecutionContext ctx(&clock, &model, 1);
+  ctx.SetTransformCache(&cache);
+  // Hard-deadline mode with the deadline already expired and slicing
+  // forced on: the first sliced charge truncates mid-way.
+  ctx.SetMaxSliceSeconds(1e-12);
+  ctx.SetHardDeadline(true);
+  ctx.SetDeadline(clock.Now());
+
+  Pipeline p = MakePipeline();
+  EXPECT_FALSE(p.Fit(train, &ctx).ok());
+  EXPECT_TRUE(ctx.charge_truncated());
+  const TransformCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+// --- Cache bounding --------------------------------------------------
+
+TEST(TransformCacheTest, LruStaysWithinByteBudgetAndEvicts) {
+  const Dataset data = TestData(500, 10, 2);  // ~40 KB dense.
+  TransformCache cache(100 * 1024);
+  for (int i = 0; i < 6; ++i) {
+    cache.Insert(data, "chain" + std::to_string(i), {}, data, ChargeTape{});
+  }
+  const TransformCacheStats stats = cache.Stats();
+  EXPECT_LE(stats.bytes, 100u * 1024u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.insertions, 6u);
+  EXPECT_LT(stats.entries, 6u);
+  // The most recent chain survived; the oldest was evicted.
+  EXPECT_NE(cache.Lookup(data, "chain5"), nullptr);
+  EXPECT_EQ(cache.Lookup(data, "chain0"), nullptr);
+}
+
+TEST(TransformCacheTest, OversizedEntryIsNeverAdmitted) {
+  const Dataset data = TestData(500, 10, 2);
+  TransformCache cache(1024);  // Smaller than one entry.
+  EXPECT_EQ(cache.Insert(data, "chain", {}, data, ChargeTape{}), nullptr);
+  const TransformCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(TransformCacheTest, LookupIsExactOnViewNotJustFingerprint) {
+  const Dataset base = TestData(40, 4, 2);
+  const Dataset view_a = base.Subset({1, 2, 3});
+  const Dataset view_b = base.Subset({1, 2, 4});
+  TransformCache cache(16 * 1024 * 1024);
+  ASSERT_NE(cache.Insert(view_a, "chain", {}, view_a, ChargeTape{}),
+            nullptr);
+  EXPECT_NE(cache.Lookup(view_a, "chain"), nullptr);
+  EXPECT_EQ(cache.Lookup(view_b, "chain"), nullptr);
+  EXPECT_EQ(cache.Lookup(view_a, "other"), nullptr);
+}
+
+// --- Config signatures -----------------------------------------------
+
+TEST(ConfigSignatureTest, HyperparametersAreEncoded) {
+  EXPECT_NE(QuantileBinner(4).ConfigSignature(),
+            QuantileBinner(8).ConfigSignature());
+  EXPECT_NE(SelectKBest(2).ConfigSignature(),
+            SelectKBest(3).ConfigSignature());
+  EXPECT_NE(VarianceThreshold(0.0).ConfigSignature(),
+            VarianceThreshold(0.5).ConfigSignature());
+  EXPECT_NE(Pca(2).ConfigSignature(), Pca(3).ConfigSignature());
+  EXPECT_NE(OneHotEncoder(8).ConfigSignature(),
+            OneHotEncoder(16).ConfigSignature());
+  EXPECT_NE(Scaler(ScalerKind::kStandard).ConfigSignature(),
+            Scaler(ScalerKind::kMinMax).ConfigSignature());
+  EXPECT_EQ(Pca(2).ConfigSignature(), Pca(2).ConfigSignature());
+}
+
+// --- End-to-end sweep identity ---------------------------------------
+
+std::string SerializeAll(const std::vector<RunRecord>& records) {
+  std::string out;
+  for (const RunRecord& r : records) out += RecordToJson(r) + "\n";
+  return out;
+}
+
+ExperimentConfig SmallSweepConfig() {
+  ExperimentConfig config;
+  config.dataset_limit = 2;
+  config.repetitions = 1;
+  config.collect_scopes = true;  // Identity must cover the scope trees.
+  return config;
+}
+
+TEST(TransformCacheSweepTest, RecordsAndScopesIdenticalCacheOnOff) {
+  ExperimentConfig on = SmallSweepConfig();
+  on.transform_cache = true;
+  ExperimentConfig off = SmallSweepConfig();
+  off.transform_cache = false;
+
+  ExperimentRunner runner_on(on), runner_off(off);
+  auto records_on = runner_on.Sweep({"caml", "flaml"}, {10.0});
+  auto records_off = runner_off.Sweep({"caml", "flaml"}, {10.0});
+  ASSERT_TRUE(records_on.ok());
+  ASSERT_TRUE(records_off.ok());
+  EXPECT_EQ(SerializeAll(records_on.value()),
+            SerializeAll(records_off.value()));
+
+  const TransformCacheStats stats = runner_on.transform_cache_stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_EQ(runner_off.transform_cache_stats().hits, 0u);
+}
+
+TEST(TransformCacheSweepTest, RecordsIdenticalAcrossWorkerCounts) {
+  ExperimentConfig seq = SmallSweepConfig();
+  seq.jobs = 1;
+  ExperimentConfig par = SmallSweepConfig();
+  par.jobs = 4;
+
+  ExperimentRunner runner_seq(seq), runner_par(par);
+  auto records_seq = runner_seq.Sweep({"caml", "flaml"}, {10.0});
+  auto records_par = runner_par.Sweep({"caml", "flaml"}, {10.0});
+  ASSERT_TRUE(records_seq.ok());
+  ASSERT_TRUE(records_par.ok());
+  EXPECT_EQ(SerializeAll(records_seq.value()),
+            SerializeAll(records_par.value()));
+}
+
+TEST(TransformCacheSweepTest, EnvKnobsParse) {
+  EXPECT_GE(TransformCacheMbFromEnv(), 1.0);
+  TransformCacheFromEnv();  // Must not crash; value depends on env.
+}
+
+}  // namespace
+}  // namespace green
