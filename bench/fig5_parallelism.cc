@@ -5,13 +5,11 @@
 // energy-efficient.
 
 #include <cstdio>
-#include <optional>
 
 #include "green/bench_util/aggregate.h"
 #include "green/bench_util/experiment.h"
 #include "green/bench_util/table_printer.h"
 #include "green/common/stringutil.h"
-#include "green/common/thread_pool.h"
 
 namespace green {
 namespace {
@@ -27,40 +25,49 @@ int Main() {
   const std::vector<int> core_counts = {1, 2, 4, 8};
   const std::vector<double> budgets = {10.0, 30.0, 60.0, 300.0};
 
-  for (const std::string& system : {"caml", "autogluon"}) {
+  // The core count is Sweep's option-override axis: one sweep per system
+  // covers the whole (budget, cores, dataset, rep) grid with the
+  // harness's retry/journal/jobs machinery, and run seeds are
+  // variant-independent, so every cores= variant of a cell shares its
+  // split and search trajectory — the controlled comparison the figure
+  // plots.
+  std::vector<SweepVariant> variants;
+  for (int cores : core_counts) {
+    SweepVariant variant;
+    variant.name = StrFormat("cores=%d", cores);
+    variant.cores = cores;
+    variants.push_back(std::move(variant));
+  }
+
+  for (const char* system : {"caml", "autogluon"}) {
     PrintBanner(StrFormat(
         "Figure 5: %s across CPU cores (accuracy / execution kWh)",
-        system.c_str()));
+        system));
+    auto swept = runner.Sweep({system}, budgets, variants);
+    if (!swept.ok()) {
+      std::fprintf(stderr, "sweep failed: %s\n",
+                   swept.status().ToString().c_str());
+      return 1;
+    }
+    const std::vector<RunRecord> records = OkOnly(*swept);
     TablePrinter table({"budget", "cores", "bal.acc", "exec kWh",
                         "exec seconds", "kWh vs 1 core"});
     for (double budget : budgets) {
       double one_core_kwh = 0.0;
-      for (int cores : core_counts) {
-        // Host-parallel over (dataset, repetition): seeds are cell-local,
-        // so slot i is identical whichever worker computes it; aggregation
-        // below walks slots in enumeration order for deterministic stats.
-        const size_t reps = static_cast<size_t>(config.repetitions);
-        const size_t n = runner.suite().size() * reps;
-        std::vector<std::optional<RunRecord>> slots(n);
-        ParallelFor(n, config.jobs, [&](size_t i) {
-          const Dataset& dataset = runner.suite()[i / reps];
-          const int rep = static_cast<int>(i % reps);
-          auto record = runner.RunOne(system, dataset, budget, rep, cores);
-          if (record.ok()) slots[i] = std::move(record).value();
-        });
+      for (const SweepVariant& variant : variants) {
         std::vector<double> accs;
         std::vector<double> kwhs;
         std::vector<double> secs;
-        for (const std::optional<RunRecord>& record : slots) {
-          if (!record.has_value()) continue;
-          accs.push_back(record->test_balanced_accuracy);
-          kwhs.push_back(record->execution_kwh);
-          secs.push_back(record->execution_seconds);
+        for (const RunRecord& record :
+             Filter(records, system, budget, variant.name)) {
+          accs.push_back(record.test_balanced_accuracy);
+          kwhs.push_back(record.execution_kwh);
+          secs.push_back(record.execution_seconds);
         }
         const double kwh = ComputeStats(kwhs).mean;
-        if (cores == 1) one_core_kwh = kwh;
+        if (variant.cores == 1) one_core_kwh = kwh;
         table.AddRow(
-            {StrFormat("%gs", budget), StrFormat("%d", cores),
+            {StrFormat("%gs", budget), StrFormat("%d", variant.cores),
              StrFormat("%.3f", ComputeStats(accs).mean),
              StrFormat("%.5f", kwh),
              StrFormat("%.1f", ComputeStats(secs).mean),

@@ -10,16 +10,9 @@
 #include "green/bench_util/experiment.h"
 #include "green/bench_util/table_printer.h"
 #include "green/common/stringutil.h"
-#include "green/ml/metrics.h"
-#include "green/table/split.h"
 
 namespace green {
 namespace {
-
-struct CellStats {
-  double accuracy = 0.0;
-  double inference_kwh = 0.0;
-};
 
 int Main() {
   ExperimentConfig config = ExperimentConfig::FromEnv();
@@ -27,7 +20,6 @@ int Main() {
     config.dataset_limit = 6;
   }
   ExperimentRunner runner(config);
-  EnergyModel energy_model(config.machine);
   const std::vector<double> budgets = {10.0, 30.0, 60.0, 300.0};
 
   // The paper constrains inference to 0.001-0.003 s/instance on its
@@ -37,44 +29,40 @@ int Main() {
 
   PrintBanner(
       "Figure 6 (CAML): inference-time constraints vs accuracy & energy");
+  // The constraint is Sweep's option-override axis: the unconstrained
+  // default variant ("") plus one variant per limit, all through the
+  // harness's retry/journal/jobs machinery. Variants share their run
+  // seed, so a constrained cell differs from its unconstrained twin only
+  // through the constraint itself.
+  std::vector<SweepVariant> caml_variants;
+  for (double constraint : constraints) {
+    SweepVariant variant;
+    if (constraint > 0.0) {
+      variant.name = StrFormat("constraint=%g", constraint);
+      variant.max_inference_seconds_per_row = constraint;
+    }
+    caml_variants.push_back(std::move(variant));
+  }
+  auto caml_sweep = runner.Sweep({"caml"}, budgets, caml_variants);
+  if (!caml_sweep.ok()) {
+    std::fprintf(stderr, "caml sweep failed: %s\n",
+                 caml_sweep.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<RunRecord> caml_records = OkOnly(*caml_sweep);
+
   TablePrinter caml_table({"budget", "constraint s/inst", "bal.acc",
                            "inference kWh/inst", "saving vs none"});
   for (double budget : budgets) {
     double unconstrained_kwh = -1.0;
-    for (double constraint : constraints) {
+    for (size_t c = 0; c < constraints.size(); ++c) {
+      const double constraint = constraints[c];
       std::vector<double> accs;
       std::vector<double> kwhs;
-      for (const Dataset& dataset : runner.suite()) {
-        for (int rep = 0; rep < config.repetitions; ++rep) {
-          auto system = runner.MakeSystem("caml", budget);
-          if (!system.ok()) continue;
-          VirtualClock clock;
-          ExecutionContext ctx(&clock, &energy_model, config.cores);
-          Rng rng(HashCombine(config.seed, rep + 1));
-          TrainTestData data = Materialize(
-              dataset, StratifiedSplit(dataset, 0.66, &rng));
-          AutoMlOptions options;
-          options.search_budget_seconds = budget * config.budget_scale;
-          options.seed = HashCombine(config.seed, rep + 17);
-          if (constraint > 0.0) {
-            options.max_inference_seconds_per_row = constraint;
-          }
-          auto run = (*system)->Fit(data.train, options, &ctx);
-          if (!run.ok()) continue;
-          EnergyMeter meter(&energy_model);
-          meter.Start(clock.Now());
-          ctx.SetMeter(&meter);
-          auto preds = run->artifact.Predict(data.test, &ctx);
-          const EnergyReading inference = meter.Stop(clock.Now());
-          ctx.SetMeter(nullptr);
-          if (!preds.ok()) continue;
-          accs.push_back(BalancedAccuracy(data.test.labels(),
-                                          preds.value(),
-                                          data.test.num_classes()));
-          kwhs.push_back(inference.kwh() /
-                         static_cast<double>(data.test.num_rows()) /
-                         config.budget_scale);
-        }
+      for (const RunRecord& record :
+           Filter(caml_records, "caml", budget, caml_variants[c].name)) {
+        accs.push_back(record.test_balanced_accuracy);
+        kwhs.push_back(record.inference_kwh_per_instance);
       }
       const double kwh = ComputeStats(kwhs).mean;
       if (constraint == 0.0) unconstrained_kwh = kwh;
@@ -92,9 +80,6 @@ int Main() {
 
   PrintBanner(
       "Figure 6 (AutoGluon): deployment-optimized refit configuration");
-  // Both AutoGluon modes go through Sweep: parallel workers, retry/
-  // taxonomy, and journaling all apply. (The CAML half above cannot —
-  // it varies max_inference_seconds_per_row, which is not a sweep axis.)
   auto gluon_sweep =
       runner.Sweep({"autogluon", "autogluon_refit"}, budgets);
   if (!gluon_sweep.ok()) {

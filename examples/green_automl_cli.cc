@@ -8,7 +8,8 @@
 //                    [--sweep SYS1,SYS2,...] [--budgets B1,B2,...]
 //                    [--journal PATH] [--resume] [--retries N]
 //                    [--cell-timeout SECONDS] [--faults SPEC]
-//                    [--compact-journal PATH]
+//                    [--shard i/n] [--compact-journal PATH]
+//                    [--merge-journals S0.jsonl ... -o OUT.jsonl]
 //
 //   --system      tabpfn | caml | caml_tuned | flaml | autogluon |
 //                 autogluon_refit | autosklearn1 | autosklearn2 | tpot |
@@ -45,10 +46,20 @@
 //                   off (default: $GREEN_CELL_TIMEOUT)
 //   --faults        fault-injection spec, e.g. "run.fit@0.05"
 //                   (default: $GREEN_FAULTS; see common/fault.h)
+//   --shard i/n     multi-process sharding: run only the sweep cells
+//                   shard i of n owns (round-robin over the canonical
+//                   enumeration; default: $GREEN_SHARD, else unsharded).
+//                   Point each shard at its own --journal and recombine
+//                   with --merge-journals; per-shard --resume works
+//                   unchanged
 //
 // Maintenance:
 //   --compact-journal PATH  rewrite a sweep journal keeping only the
 //                           last record per cell, then exit
+//   --merge-journals S0.jsonl S1.jsonl ... -o OUT.jsonl
+//                           recombine per-shard sweep journals into the
+//                           byte-identical single-process record stream,
+//                           then exit
 
 #include <algorithm>
 #include <cstdio>
@@ -102,6 +113,11 @@ int SweepMain(const std::string& sweep_systems,
     std::printf("resumed %zu cell(s) from the journal\n",
                 runner.last_sweep_resumed_cells());
   }
+  if (runner.last_sweep_resumed_from_incomplete_journal()) {
+    std::printf(
+        "note: the journal was marked incomplete by a previous run; "
+        "cells it was missing were re-run\n");
+  }
 
   const std::string failures = RenderFailureSummary(*records);
   if (!failures.empty()) std::printf("%s", failures.c_str());
@@ -113,8 +129,23 @@ int SweepMain(const std::string& sweep_systems,
     if (!cache_stats.empty()) std::printf("%s", cache_stats.c_str());
   }
   const std::vector<RunRecord> measured = OkOnly(*records);
-  std::printf("sweep complete: %zu/%zu cells measured ok\n",
-              measured.size(), records->size());
+  if (config.shard_count > 1) {
+    std::printf("sweep complete (shard %d/%d): %zu/%zu owned cells "
+                "measured ok\n",
+                config.shard_index, config.shard_count, measured.size(),
+                records->size());
+  } else {
+    std::printf("sweep complete: %zu/%zu cells measured ok\n",
+                measured.size(), records->size());
+  }
+  if (runner.last_sweep_journal_append_failures() > 0) {
+    std::fprintf(
+        stderr,
+        "warning: %zu record(s) could not be journaled even after "
+        "retry; %s is NOT a complete transcript (marked incomplete)\n",
+        runner.last_sweep_journal_append_failures(),
+        config.journal_path.c_str());
+  }
 
   if (!json_path.empty()) {
     Status st = WriteRecordsJsonl(*records, json_path);
@@ -147,6 +178,10 @@ int Main(int argc, char** argv) {
   std::string faults = FaultsFromEnv();
   bool breakdown = ScopesFromEnv();
   std::string compact_path;
+  ShardSpec shard = ShardFromEnv();
+  std::vector<std::string> merge_paths;
+  std::string merge_out;
+  bool merge_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -187,10 +222,43 @@ int Main(int argc, char** argv) {
       transform_cache = std::atoi(next()) != 0;
     } else if (std::strcmp(argv[i], "--compact-journal") == 0) {
       compact_path = next();
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      auto parsed = ParseShardSpec(next());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--shard: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      shard = *parsed;
+    } else if (std::strcmp(argv[i], "--merge-journals") == 0) {
+      merge_mode = true;
+      while (i + 1 < argc && std::strcmp(argv[i + 1], "-o") != 0) {
+        merge_paths.push_back(argv[++i]);
+      }
+      if (i + 1 < argc) ++i;  // Consume "-o".
+      merge_out = next();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
+  }
+
+  if (merge_mode) {
+    if (merge_paths.empty() || merge_out.empty()) {
+      std::fprintf(stderr,
+                   "--merge-journals needs shard journal paths and "
+                   "-o OUT.jsonl\n");
+      return 2;
+    }
+    auto merged = MergeShardJournals(merge_paths, merge_out);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "merge failed: %s\n",
+                   merged.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu shard journal(s) merged into %s (%zu records)\n",
+                merge_paths.size(), merge_out.c_str(), *merged);
+    return 0;
   }
 
   if (!compact_path.empty()) {
@@ -217,6 +285,8 @@ int Main(int argc, char** argv) {
   config.collect_scopes = breakdown;
   config.transform_cache = transform_cache;
   config.transform_cache_mb = TransformCacheMbFromEnv();
+  config.shard_index = shard.index;
+  config.shard_count = shard.count;
 
   if (!sweep_systems.empty()) {
     return SweepMain(sweep_systems, budgets_arg, config, json_path);

@@ -56,6 +56,17 @@ std::vector<RunRecord> Filter(const std::vector<RunRecord>& records,
   return out;
 }
 
+std::vector<RunRecord> Filter(const std::vector<RunRecord>& records,
+                              const std::string& system,
+                              double paper_budget,
+                              const std::string& variant) {
+  std::vector<RunRecord> out;
+  for (const RunRecord& record : Filter(records, system, paper_budget)) {
+    if (record.variant == variant) out.push_back(record);
+  }
+  return out;
+}
+
 std::vector<RunRecord> OkOnly(const std::vector<RunRecord>& records) {
   std::vector<RunRecord> out;
   out.reserve(records.size());

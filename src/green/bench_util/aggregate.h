@@ -30,10 +30,17 @@ Stats BootstrapAcrossDatasets(
     const std::function<double(const RunRecord&)>& metric,
     int bootstrap_samples, uint64_t seed);
 
-/// Records filtered to one (system, budget) cell.
+/// Records filtered to one (system, budget) cell, any variant.
 std::vector<RunRecord> Filter(const std::vector<RunRecord>& records,
                               const std::string& system,
                               double paper_budget);
+
+/// Records filtered to one (system, budget, variant) cell of a sweep run
+/// with an option-override axis; "" selects the default variant.
+std::vector<RunRecord> Filter(const std::vector<RunRecord>& records,
+                              const std::string& system,
+                              double paper_budget,
+                              const std::string& variant);
 
 /// Only the successfully measured records. Sweep returns every
 /// enumerated cell (including skipped/failed/timeout ones); metric

@@ -109,6 +109,9 @@ ExperimentConfig ExperimentConfig::FromEnv() {
   config.collect_scopes = ScopesFromEnv();
   config.transform_cache = TransformCacheFromEnv();
   config.transform_cache_mb = TransformCacheMbFromEnv();
+  const ShardSpec shard = ShardFromEnv();
+  config.shard_index = shard.index;
+  config.shard_count = shard.count;
   return config;
 }
 
@@ -214,14 +217,20 @@ Result<std::unique_ptr<AutoMlSystem>> MakeProbeSystem(
 
 std::string RunRecordCellKey(const std::string& system,
                              const std::string& dataset, double budget,
-                             int repetition) {
-  return StrFormat("%s|%s|%.6g|%d", system.c_str(), dataset.c_str(),
-                   budget, repetition);
+                             int repetition, const std::string& variant) {
+  std::string key = StrFormat("%s|%s|%.6g|%d", system.c_str(),
+                              dataset.c_str(), budget, repetition);
+  if (!variant.empty()) {
+    key += '|';
+    key += variant;
+  }
+  return key;
 }
 
 std::string RunRecordCellKey(const RunRecord& record) {
   return RunRecordCellKey(record.system, record.dataset,
-                          record.paper_budget_seconds, record.repetition);
+                          record.paper_budget_seconds, record.repetition,
+                          record.variant);
 }
 
 double ExperimentRunner::MinBudget(const std::string& system_name) const {
@@ -338,13 +347,20 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
                                            double paper_budget,
                                            int repetition, int cores,
                                            const CancelToken* cancel,
-                                           int attempt) {
+                                           int attempt,
+                                           const SweepVariant* variant) {
+  const std::string variant_name =
+      variant != nullptr ? variant->name : std::string();
   // Probabilistic fault draws inside this attempt are keyed by the cell
   // AND the attempt, so a retry re-rolls the dice instead of
-  // deterministically re-hitting the same injected failure.
-  FaultScope fault_scope(StrFormat("%s|%s|%.6g|%d|%d", system_name.c_str(),
-                                   dataset.name().c_str(), paper_budget,
-                                   repetition, attempt));
+  // deterministically re-hitting the same injected failure. (Cell key
+  // first, then attempt — for variant-less cells this is the same
+  // "system|dataset|budget|rep|attempt" string as before the variant
+  // axis existed.)
+  FaultScope fault_scope(
+      RunRecordCellKey(system_name, dataset.name(), paper_budget,
+                       repetition, variant_name) +
+      StrFormat("|%d", attempt));
 
   GREEN_ASSIGN_OR_RETURN(std::unique_ptr<AutoMlSystem> system,
                          MakeSystem(system_name, paper_budget));
@@ -359,9 +375,16 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   TrainTestIndices split = StratifiedSplit(dataset, 0.66, &rng);
   TrainTestData data = Materialize(dataset, split);
 
+  // Precedence for the simulated core count: variant override, then the
+  // explicit argument, then the config default. The run seed above is
+  // deliberately independent of all three — variants of one cell share
+  // their split and search trajectory.
+  const int effective_cores =
+      variant != nullptr && variant->cores > 0
+          ? variant->cores
+          : (cores > 0 ? cores : config_.cores);
   VirtualClock clock;
-  ExecutionContext ctx(&clock, &energy_model_,
-                       cores > 0 ? cores : config_.cores);
+  ExecutionContext ctx(&clock, &energy_model_, effective_cores);
   ctx.SetCancelToken(cancel);
   if (config_.transform_cache) ctx.SetTransformCache(&transform_cache_);
 
@@ -369,6 +392,10 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   options.search_budget_seconds = paper_budget * config_.budget_scale;
   options.cores = ctx.cores();
   options.seed = run_seed;
+  if (variant != nullptr && variant->max_inference_seconds_per_row > 0.0) {
+    options.max_inference_seconds_per_row =
+        variant->max_inference_seconds_per_row;
+  }
 
   GREEN_RETURN_IF_ERROR(faults_.Check("run.fit"));
   GREEN_ASSIGN_OR_RETURN(AutoMlRunResult run,
@@ -379,6 +406,7 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   record.dataset = dataset.name();
   record.paper_budget_seconds = paper_budget;
   record.repetition = repetition;
+  record.variant = variant_name;
   record.execution_seconds = run.actual_seconds / config_.budget_scale;
   record.execution_kwh = run.execution.kwh() / config_.budget_scale;
   record.num_pipelines = run.artifact.NumPipelines();
@@ -440,12 +468,14 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
 RunRecord ExperimentRunner::RunCell(const std::string& system_name,
                                     const Dataset& dataset,
                                     double paper_budget, int repetition,
-                                    int cores, const CancelToken* cancel) {
+                                    int cores, const CancelToken* cancel,
+                                    const SweepVariant* variant) {
   RunRecord record;
   record.system = system_name;
   record.dataset = dataset.name();
   record.paper_budget_seconds = paper_budget;
   record.repetition = repetition;
+  if (variant != nullptr) record.variant = variant->name;
 
   // The paper's protocol: systems whose minimum supported search time
   // exceeds the cell's budget are not run at all (ASKL below 30 s, TPOT
@@ -467,7 +497,8 @@ RunRecord ExperimentRunner::RunCell(const std::string& system_name,
   while (true) {
     ++attempt;
     Result<RunRecord> run = RunOne(system_name, dataset, paper_budget,
-                                   repetition, cores, cancel, attempt);
+                                   repetition, cores, cancel, attempt,
+                                   variant);
     if (run.ok()) {
       record = std::move(run).value();
       record.outcome = RunOutcome::kOk;
@@ -499,24 +530,64 @@ RunRecord ExperimentRunner::RunCell(const std::string& system_name,
 Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
     const std::vector<std::string>& systems,
     const std::vector<double>& paper_budgets) {
+  return Sweep(systems, paper_budgets,
+               std::vector<SweepVariant>{SweepVariant{}});
+}
+
+Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
+    const std::vector<std::string>& systems,
+    const std::vector<double>& paper_budgets,
+    const std::vector<SweepVariant>& variants) {
+  if (variants.empty()) {
+    return Status::InvalidArgument("Sweep: empty variant list");
+  }
+  {
+    std::map<std::string, int> seen;
+    for (const SweepVariant& variant : variants) {
+      if (++seen[variant.name] > 1) {
+        return Status::InvalidArgument(
+            "Sweep: duplicate variant name \"" + variant.name +
+            "\" (names are part of the cell identity)");
+      }
+    }
+  }
+  const ShardSpec shard{config_.shard_index, config_.shard_count};
+  if (!shard.valid()) {
+    return Status::InvalidArgument("Sweep: invalid shard spec " +
+                                   shard.ToString());
+  }
+
   // Enumerate every cell up front in the canonical (system, budget,
-  // dataset, repetition) order — including cells below a system's
-  // minimum budget, which come back as `skipped` records. Run seeds and
-  // fault draws depend only on the cell, never on execution order, so
-  // the parallel path below is bit-identical to running this list
-  // sequentially.
+  // variant, dataset, repetition) order — including cells below a
+  // system's minimum budget, which come back as `skipped` records. Run
+  // seeds and fault draws depend only on the cell, never on execution
+  // order, so the parallel path below is bit-identical to running this
+  // list sequentially. Under sharding the enumeration (and therefore
+  // every cell's global index) is identical in all shard processes; this
+  // process keeps only the cells its shard owns. Ownership is
+  // round-robin (index % count) rather than contiguous slices because
+  // enumeration is system-major — a contiguous split would hand one
+  // shard all of the cheapest system's cells.
   struct Cell {
     const std::string* system;
     double budget;
+    const SweepVariant* variant;
     const Dataset* dataset;
     int rep;
+    int64_t index;  ///< Global enumeration index, identical across shards.
   };
   std::vector<Cell> cells;
+  int64_t total_cells = 0;
   for (const std::string& system : systems) {
     for (double budget : paper_budgets) {
-      for (const Dataset& dataset : suite_) {
-        for (int rep = 0; rep < config_.repetitions; ++rep) {
-          cells.push_back(Cell{&system, budget, &dataset, rep});
+      for (const SweepVariant& variant : variants) {
+        for (const Dataset& dataset : suite_) {
+          for (int rep = 0; rep < config_.repetitions; ++rep) {
+            const int64_t index = total_cells++;
+            if (!shard.Owns(index)) continue;
+            cells.push_back(
+                Cell{&system, budget, &variant, &dataset, rep, index});
+          }
         }
       }
       // TabPFN has no search-time parameter: one budget point suffices.
@@ -525,18 +596,33 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
   }
 
   // Journal bootstrap. Resume loads completed cells keyed by
-  // (system, dataset, budget, rep); a fresh journaled sweep truncates.
+  // (system, dataset, budget, rep[, variant]); a fresh journaled sweep
+  // truncates.
   std::map<std::string, RunRecord> journaled;
   last_sweep_resumed_cells_ = 0;
+  last_sweep_journal_append_failures_ = 0;
+  last_sweep_resumed_from_incomplete_journal_ = false;
   if (!config_.journal_path.empty()) {
     if (config_.resume) {
-      GREEN_ASSIGN_OR_RETURN(std::vector<RunRecord> previous,
-                             ReadJournalJsonl(config_.journal_path));
+      GREEN_ASSIGN_OR_RETURN(JournalContents previous,
+                             ReadJournal(config_.journal_path));
+      if (previous.append_failures > 0) {
+        // A previous sweep lost appends: each journaled record is still
+        // individually trustworthy, but the journal as a whole must not
+        // be treated as a complete transcript — any cell it is missing
+        // re-runs below.
+        last_sweep_resumed_from_incomplete_journal_ = true;
+        LogWarning(StrFormat(
+            "journal %s is marked incomplete (%zu append(s) lost by a "
+            "previous sweep): resuming the cells it holds, re-running "
+            "the rest",
+            config_.journal_path.c_str(), previous.append_failures));
+      }
       // Repeated resume cycles can journal the same cell several times
       // (a cell re-run after a crash mid-append). Later lines supersede
       // earlier ones, matching the order Sweep appended them.
       size_t superseded = 0;
-      for (RunRecord& record : previous) {
+      for (RunRecord& record : previous.records) {
         const auto inserted = journaled.insert_or_assign(
             RunRecordCellKey(record), std::move(record));
         if (!inserted.second) ++superseded;
@@ -595,17 +681,23 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
   }
 
   std::mutex journal_mutex;
+  /// Slot indices whose journal append failed; retried once at sweep
+  /// end. Guarded by journal_mutex.
+  std::vector<size_t> failed_appends;
   std::atomic<size_t> resumed{0};
   const auto start = std::chrono::steady_clock::now();
   ParallelFor(cells.size(), jobs, [&](size_t i) {
     const Cell& cell = cells[i];
     const std::string key =
         RunRecordCellKey(*cell.system, cell.dataset->name(), cell.budget,
-                         cell.rep);
+                         cell.rep, cell.variant->name);
 
     auto journaled_cell = journaled.find(key);
     if (journaled_cell != journaled.end()) {
       slots[i].emplace(journaled_cell->second);
+      // The stamp is recomputed rather than trusted from the file: the
+      // enumeration here is the one the merge must agree with.
+      slots[i]->cell_index = shard.count > 1 ? cell.index : -1;
       resumed.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -623,9 +715,11 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
         record.dataset = cell.dataset->name();
         record.paper_budget_seconds = cell.budget;
         record.repetition = cell.rep;
+        record.variant = cell.variant->name;
         record.outcome = OutcomeForStatus(injected);
         record.error = injected.ToString();
         record.attempts = 0;
+        if (shard.count > 1) record.cell_index = cell.index;
         slots[i].emplace(std::move(record));
         return;
       }
@@ -640,17 +734,32 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
     }
     RunRecord record =
         RunCell(*cell.system, *cell.dataset, cell.budget, cell.rep,
-                /*cores=*/0, watchdog_enabled ? &tokens[i] : nullptr);
+                /*cores=*/0, watchdog_enabled ? &tokens[i] : nullptr,
+                cell.variant);
     start_ns[i].store(-1, std::memory_order_release);
+    if (shard.count > 1) record.cell_index = cell.index;
 
     if (!config_.journal_path.empty()) {
+      // `journal.append` makes append failures injectable (disk full,
+      // permissions yanked mid-sweep). Cell-scoped so probabilistic
+      // draws are jobs-independent.
+      Status appended;
+      {
+        FaultScope scope("journal.append|" + key);
+        appended = faults_.Check("journal.append");
+      }
       std::lock_guard<std::mutex> lock(journal_mutex);
-      const Status appended =
-          AppendRecordJsonl(record, config_.journal_path);
+      if (appended.ok()) {
+        appended = AppendRecordJsonl(record, config_.journal_path);
+      }
       if (!appended.ok()) {
         // The sweep's results are still intact in memory; losing journal
-        // durability is worth a warning, not a failed sweep.
-        LogWarning("journal append failed: " + appended.ToString());
+        // durability is worth a warning, not a failed sweep — but it
+        // must be COUNTED, or a later --resume would mistake the journal
+        // for a complete transcript.
+        LogWarning("journal append failed: " + appended.ToString() +
+                   " (will retry at sweep end)");
+        failed_appends.push_back(i);
       }
     }
     slots[i].emplace(std::move(record));
@@ -697,16 +806,80 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
     records.push_back(std::move(record));
   }
   last_sweep_resumed_cells_ = resumed.load(std::memory_order_relaxed);
-  if (journaled.size() > last_sweep_resumed_cells_) {
+  const size_t journal_orphans =
+      journaled.size() - last_sweep_resumed_cells_;
+  if (journal_orphans > 0) {
     LogWarning(StrFormat(
         "journal has %zu record(s) matching no enumerated cell",
-        journaled.size() - last_sweep_resumed_cells_));
+        journal_orphans));
   }
+
+  // End-of-sweep retry for failed appends: a transient failure (brief
+  // disk-full, single-shot injected fault) recovers here; persistent
+  // ones are counted lost and flagged in the journal itself so a later
+  // --resume cannot mistake it for a complete transcript.
+  size_t lost_appends = 0;
+  for (size_t i : failed_appends) {
+    Status retried;
+    {
+      // Same site as the first attempt — a persistent injected fault
+      // (probability 1) fails the retry too; a single-shot `#n` clause
+      // has been consumed and lets it through. Re-scoped so
+      // probabilistic draws re-roll.
+      FaultScope scope("journal.append|" + RunRecordCellKey(records[i]) +
+                       "|retry");
+      retried = faults_.Check("journal.append");
+    }
+    if (retried.ok()) {
+      retried = AppendRecordJsonl(records[i], config_.journal_path);
+    }
+    if (!retried.ok()) {
+      ++lost_appends;
+      LogWarning("journal append retry failed: " + retried.ToString());
+    }
+  }
+  last_sweep_journal_append_failures_ = lost_appends;
+  if (lost_appends > 0) {
+    const Status marker = AppendJournalIncompleteMarker(
+        lost_appends, config_.journal_path);
+    LogWarning(StrFormat(
+        "journal %s is NOT a complete transcript: %zu record(s) lost%s",
+        config_.journal_path.c_str(), lost_appends,
+        marker.ok() ? " (incompleteness marker appended)"
+                    : "; marking it incomplete ALSO failed"));
+  } else if (last_sweep_resumed_from_incomplete_journal_ &&
+             journal_orphans == 0 && !config_.journal_path.empty()) {
+    // Full recovery: this resumed sweep holds every enumerated cell and
+    // journaled every re-run one, so the journal can be rewritten as the
+    // complete transcript it now is, clearing the incompleteness marker.
+    const std::string tmp = config_.journal_path + ".rewrite.tmp";
+    Status rewritten = WriteRecordsJsonl(records, tmp);
+    if (rewritten.ok() &&
+        std::rename(tmp.c_str(), config_.journal_path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      rewritten = Status::IoError("cannot replace " + config_.journal_path);
+    }
+    if (rewritten.ok()) {
+      LogInfo("journal " + config_.journal_path +
+              ": fully recovered from a previous run's lost appends; "
+              "rewritten complete");
+    } else {
+      LogWarning("journal recovery rewrite failed: " +
+                 rewritten.ToString());
+    }
+  }
+
+  const std::string shard_note =
+      shard.count > 1
+          ? StrFormat(" [shard %s: %zu of %lld cells]",
+                      shard.ToString().c_str(), cells.size(),
+                      static_cast<long long>(total_cells))
+          : std::string();
   LogInfo(StrFormat(
-      "sweep: %zu cells (%zu ok, %zu failed, %zu timeout, %zu skipped, "
+      "sweep%s: %zu cells (%zu ok, %zu failed, %zu timeout, %zu skipped, "
       "%zu resumed) on %d worker thread(s) in %.2fs wall (%.1f cells/s)",
-      cells.size(), ok_cells, failed, timeouts, skipped,
-      last_sweep_resumed_cells_, jobs, last_sweep_wall_seconds_,
+      shard_note.c_str(), cells.size(), ok_cells, failed, timeouts,
+      skipped, last_sweep_resumed_cells_, jobs, last_sweep_wall_seconds_,
       last_sweep_wall_seconds_ > 0.0
           ? static_cast<double>(cells.size()) / last_sweep_wall_seconds_
           : 0.0));

@@ -12,6 +12,7 @@
 #include "green/common/cancel.h"
 #include "green/common/fault.h"
 #include "green/common/retry.h"
+#include "green/common/shard.h"
 #include "green/data/amlb_suite.h"
 #include "green/energy/machine_model.h"
 #include "green/metaopt/tuned_config_store.h"
@@ -38,6 +39,14 @@ struct ExperimentConfig {
   /// Host worker threads for Sweep (NOT the simulated `cores`): cells run
   /// concurrently on `jobs` threads, results stay in enumeration order.
   int jobs = 1;
+  /// Multi-process sharding (GREEN_SHARD="i/n", CLI --shard i/n): cells
+  /// keep their canonical enumeration order, and this process runs only
+  /// the cells whose global index shard-index i of n owns (round-robin).
+  /// Point each shard at its own journal and recombine them with
+  /// MergeShardJournals / --merge-journals; the merged stream is
+  /// byte-identical to an unsharded sweep. Defaults to unsharded.
+  int shard_index = 0;
+  int shard_count = 1;
 
   /// Per-cell retry policy for transient failures (max_attempts = 1
   /// disables retries). Backoff advances a bookkeeping virtual clock,
@@ -111,6 +120,27 @@ bool TransformCacheFromEnv();
 /// unset/invalid = 256.
 double TransformCacheMbFromEnv();
 
+/// One point on Sweep's per-cell option-override axis. A variant scales
+/// the cell grid by a configuration dimension that is not (system,
+/// dataset, budget, repetition): simulated core count (fig5) or CAML's
+/// per-row inference-time constraint (fig6). The name becomes part of
+/// the cell identity (RunRecord::variant, journal keys); run seeds stay
+/// variant-independent, so two variants of the same cell share their
+/// train/test split and search trajectory and differ only through the
+/// overridden option — exactly the controlled comparison the figures
+/// plot.
+struct SweepVariant {
+  /// Distinguishes the cell in records and journals; must be unique
+  /// within one Sweep call. Empty = the default variant, whose records
+  /// and journal keys are byte-identical to a variant-less sweep.
+  std::string name;
+  /// Simulated cores override; 0 keeps ExperimentConfig::cores.
+  int cores = 0;
+  /// CAML inference constraint (AutoMlOptions::
+  /// max_inference_seconds_per_row); 0 = unconstrained.
+  double max_inference_seconds_per_row = 0.0;
+};
+
 /// Where a cell ended up. Every enumerated cell gets exactly one record;
 /// the outcome is the AMLB-style failure taxonomy.
 enum class RunOutcome {
@@ -171,15 +201,31 @@ struct RunRecord {
   /// a "scopes" field only when non-empty).
   std::vector<RunScope> scopes;
 
+  /// Sweep-variant name (empty outside the override axis). Part of the
+  /// cell identity; serialized as "variant" only when non-empty so
+  /// variant-less records stay byte-identical to before the axis
+  /// existed.
+  std::string variant;
+
+  /// Global enumeration index of the cell within its sweep. Stamped
+  /// (>= 0) only by sharded sweeps, where the journal merge needs it to
+  /// restore canonical order across shard files; -1 (not serialized)
+  /// everywhere else, and cleared again by MergeShardJournals so the
+  /// merged stream is byte-identical to an unsharded sweep's records.
+  int64_t cell_index = -1;
+
   bool ok() const { return outcome == RunOutcome::kOk; }
 };
 
-/// Canonical "system|dataset|budget|rep" key identifying a sweep cell in
-/// journals, resume matching, and compaction.
+/// Canonical "system|dataset|budget|rep[|variant]" key identifying a
+/// sweep cell in journals, resume matching, and compaction. The variant
+/// segment appears only when non-empty, so keys of variant-less cells
+/// are unchanged from before the override axis existed.
 std::string RunRecordCellKey(const RunRecord& record);
 std::string RunRecordCellKey(const std::string& system,
                              const std::string& dataset, double budget,
-                             int repetition);
+                             int repetition,
+                             const std::string& variant = std::string());
 
 /// Names accepted by MakeSystem / RunOne.
 const std::vector<std::string>& AllSystemNames();
@@ -206,12 +252,14 @@ class ExperimentRunner {
   /// overrides the config for the parallelism study; pass 0 to use the
   /// default. `cancel` (optional) is polled by the system's search loop;
   /// `attempt` keys the fault-injection scope so each retry redraws its
-  /// probabilistic faults.
+  /// probabilistic faults. `variant` (optional) applies a per-cell
+  /// option override and stamps RunRecord::variant.
   Result<RunRecord> RunOne(const std::string& system_name,
                            const Dataset& dataset, double paper_budget,
                            int repetition, int cores = 0,
                            const CancelToken* cancel = nullptr,
-                           int attempt = 1);
+                           int attempt = 1,
+                           const SweepVariant* variant = nullptr);
 
   /// Runs one cell through the full fault-tolerance path: the min-budget
   /// gate (-> skipped), the retry policy for transient errors, and the
@@ -219,7 +267,8 @@ class ExperimentRunner {
   /// non-ok record.
   RunRecord RunCell(const std::string& system_name, const Dataset& dataset,
                     double paper_budget, int repetition, int cores = 0,
-                    const CancelToken* cancel = nullptr);
+                    const CancelToken* cancel = nullptr,
+                    const SweepVariant* variant = nullptr);
 
   /// Full sweep over the suite for the given systems and budgets.
   /// Returns one record per enumerated cell — including skipped, failed,
@@ -232,9 +281,25 @@ class ExperimentRunner {
   /// JSONL journal as it finishes; with config.resume additionally set,
   /// cells already present in the journal are loaded instead of re-run,
   /// and the returned stream is byte-identical to an uninterrupted sweep.
+  ///
+  /// With config.shard_count > 1, only the cells this process's shard
+  /// owns are run (and returned, in enumeration order); the journals of
+  /// all shards recombine through MergeShardJournals into the unsharded
+  /// record stream. --resume applies per shard, unchanged.
   Result<std::vector<RunRecord>> Sweep(
       const std::vector<std::string>& systems,
       const std::vector<double>& paper_budgets);
+
+  /// Sweep with a per-cell option-override axis: the cell grid becomes
+  /// (system, budget, variant, dataset, repetition), every variant
+  /// inheriting retry, fault injection, the watchdog, journaling, and
+  /// sharding exactly like the default axis. Variant names must be
+  /// unique (duplicates would collide in journals); the plain overload
+  /// is this one with the single default variant.
+  Result<std::vector<RunRecord>> Sweep(
+      const std::vector<std::string>& systems,
+      const std::vector<double>& paper_budgets,
+      const std::vector<SweepVariant>& variants);
 
   /// Minimum supported paper budget, as declared by the system itself
   /// (AutoMlSystem::MinBudgetSeconds: 30 s for ASKL, 60 s for TPOT) —
@@ -257,6 +322,23 @@ class ExperimentRunner {
   /// Cells loaded from the journal (not re-run) in the most recent Sweep.
   size_t last_sweep_resumed_cells() const {
     return last_sweep_resumed_cells_;
+  }
+
+  /// Records the most recent Sweep could not append to its journal even
+  /// after the end-of-sweep retry pass. Non-zero means the journal on
+  /// disk is NOT a complete transcript of the sweep (an incompleteness
+  /// marker is left in it, best-effort, so later --resume runs refuse to
+  /// claim completeness).
+  size_t last_sweep_journal_append_failures() const {
+    return last_sweep_journal_append_failures_;
+  }
+
+  /// True iff the most recent Sweep resumed from a journal carrying an
+  /// incompleteness marker (a previous run lost appends): the loaded
+  /// cells are trusted individually, but the journal as a whole was not
+  /// treated as complete and missing cells were re-run.
+  bool last_sweep_resumed_from_incomplete_journal() const {
+    return last_sweep_resumed_from_incomplete_journal_;
   }
 
   /// Builds a system instance; `budget` selects CAML(tuned) parameters.
@@ -292,6 +374,8 @@ class ExperimentRunner {
   std::atomic<double> development_kwh_{0.0};
   double last_sweep_wall_seconds_ = 0.0;
   size_t last_sweep_resumed_cells_ = 0;
+  size_t last_sweep_journal_append_failures_ = 0;
+  bool last_sweep_resumed_from_incomplete_journal_ = false;
 };
 
 }  // namespace green

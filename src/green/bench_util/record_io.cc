@@ -1,5 +1,6 @@
 #include "green/bench_util/record_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -134,9 +135,17 @@ std::string RecordToJson(const RunRecord& record) {
       record.pipelines_evaluated, record.best_validation_score,
       RunOutcomeName(record.outcome), Escape(record.error).c_str(),
       record.attempts);
-  // The scopes field exists only when a breakdown was collected, so
-  // records written without --breakdown stay byte-identical to files
-  // produced before the scope tree existed.
+  // Every field below is emitted only when present, so records written
+  // without the corresponding feature stay byte-identical to files
+  // produced before the feature existed.
+  if (!record.variant.empty()) {
+    out += StrFormat(",\"variant\":\"%s\"",
+                     Escape(record.variant).c_str());
+  }
+  if (record.cell_index >= 0) {
+    out += StrFormat(",\"cell\":%lld",
+                     static_cast<long long>(record.cell_index));
+  }
   if (!record.scopes.empty()) {
     out += ",\"scopes\":[";
     for (size_t i = 0; i < record.scopes.size(); ++i) {
@@ -205,6 +214,13 @@ Result<RunRecord> RecordFromJson(const std::string& line) {
                            ExtractField(line, "attempts"));
     record.attempts =
         static_cast<int>(std::strtol(attempts.c_str(), nullptr, 10));
+  }
+  // Variant and shard cell index are optional like the taxonomy fields.
+  Result<std::string> variant = ExtractField(line, "variant");
+  if (variant.ok()) record.variant = std::move(variant).value();
+  Result<std::string> cell = ExtractField(line, "cell");
+  if (cell.ok()) {
+    record.cell_index = std::strtoll(cell->c_str(), nullptr, 10);
   }
   // The scopes array is optional (written only under --breakdown).
   // Scope paths are '/'-joined operator names, never braces, so each
@@ -339,36 +355,44 @@ Status AppendRecordJsonl(const RunRecord& record, const std::string& path) {
   return Status::Ok();
 }
 
-Result<std::vector<RunRecord>> ReadJournalJsonl(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return std::vector<RunRecord>{};  // First run.
-  std::string text;
-  char buf[65536];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+Status AppendJournalIncompleteMarker(size_t lost_records,
+                                     const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const std::string line =
+      StrFormat("{\"journal_incomplete\":%zu}\n", lost_records);
+  const size_t written = std::fwrite(line.data(), 1, line.size(), f);
+  const bool flushed = std::fflush(f) == 0;
   std::fclose(f);
-
-  std::vector<RunRecord> records;
-  for (const std::string& line : Split(text, '\n')) {
-    if (Trim(line).empty()) continue;
-    Result<RunRecord> record = RecordFromJson(line);
-    if (!record.ok()) {
-      // Expected after a crash: the final line may be half-written.
-      LogWarning("journal " + path + ": skipping unparseable line (" +
-                 record.status().ToString() + ")");
-      continue;
-    }
-    records.push_back(std::move(record).value());
+  if (written != line.size() || !flushed) {
+    return Status::IoError("short write to " + path);
   }
-  return records;
+  return Status::Ok();
 }
 
-Result<size_t> CompactJournalJsonl(const std::string& path) {
-  GREEN_ASSIGN_OR_RETURN(std::vector<RunRecord> records,
-                         ReadJournalJsonl(path));
+namespace {
+
+/// Parses a `{"journal_incomplete":N}` marker line; npos-like nullopt
+/// behavior via ok-flag: returns true and sets `count` iff the line is a
+/// marker.
+bool ParseIncompleteMarker(const std::string& line, size_t* count) {
+  const std::string needle = "\"journal_incomplete\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *count = static_cast<size_t>(
+      std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10));
+  return true;
+}
+
+/// Resume's superseding rule as a standalone pass: later records replace
+/// earlier ones with the same cell key, each cell keeping its
+/// first-appearance position. `removed` (optional) counts superseded
+/// lines.
+std::vector<RunRecord> DedupeByCellKey(std::vector<RunRecord> records,
+                                       size_t* removed) {
   std::map<std::string, size_t> slot;  // Cell key -> index into `kept`.
   std::vector<RunRecord> kept;
-  size_t removed = 0;
+  if (removed != nullptr) *removed = 0;
   for (RunRecord& record : records) {
     const std::string key = RunRecordCellKey(record);
     auto it = slot.find(key);
@@ -376,19 +400,145 @@ Result<size_t> CompactJournalJsonl(const std::string& path) {
       slot.emplace(key, kept.size());
       kept.push_back(std::move(record));
     } else {
-      // Later lines supersede earlier ones (same rule resume applies),
-      // but the cell keeps its first-appearance position.
       kept[it->second] = std::move(record);
-      ++removed;
+      if (removed != nullptr) ++*removed;
     }
   }
+  return kept;
+}
+
+}  // namespace
+
+Result<JournalContents> ReadJournal(const std::string& path) {
+  JournalContents contents;
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return contents;  // First run.
+  std::string text;
+  char buf[65536];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  // Every complete append ends in '\n'; a file that does not was killed
+  // mid-append. The partial tail must be DISCARDED, not parsed: a
+  // truncated line can be field-complete yet wrong (a cut-off number
+  // parses as a smaller number), so "it still parses" is not safe.
+  std::vector<std::string> lines = Split(text, '\n');
+  if (!text.empty() && text.back() != '\n' && !lines.empty()) {
+    LogWarning(StrFormat(
+        "journal %s: discarding partial trailing line (%zu byte(s), "
+        "crash mid-append); the cell will re-run on resume",
+        path.c_str(), lines.back().size()));
+    lines.pop_back();
+    contents.truncated_tail = true;
+  }
+  for (const std::string& line : lines) {
+    if (Trim(line).empty()) continue;
+    size_t lost = 0;
+    if (ParseIncompleteMarker(line, &lost)) {
+      contents.append_failures += lost;
+      continue;
+    }
+    Result<RunRecord> record = RecordFromJson(line);
+    if (!record.ok()) {
+      LogWarning("journal " + path + ": skipping unparseable line (" +
+                 record.status().ToString() + ")");
+      continue;
+    }
+    contents.records.push_back(std::move(record).value());
+  }
+  return contents;
+}
+
+Result<std::vector<RunRecord>> ReadJournalJsonl(const std::string& path) {
+  GREEN_ASSIGN_OR_RETURN(JournalContents contents, ReadJournal(path));
+  return std::move(contents.records);
+}
+
+Result<size_t> CompactJournalJsonl(const std::string& path) {
+  GREEN_ASSIGN_OR_RETURN(JournalContents contents, ReadJournal(path));
+  size_t removed = 0;
+  const std::vector<RunRecord> kept =
+      DedupeByCellKey(std::move(contents.records), &removed);
   const std::string tmp = path + ".compact.tmp";
   GREEN_RETURN_IF_ERROR(WriteRecordsJsonl(kept, tmp));
+  if (contents.append_failures > 0) {
+    // Compaction must not launder a known-incomplete journal into a
+    // clean-looking one: the marker survives, consolidated.
+    GREEN_RETURN_IF_ERROR(
+        AppendJournalIncompleteMarker(contents.append_failures, tmp));
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::IoError("cannot replace " + path);
   }
   return removed;
+}
+
+Result<std::vector<RunRecord>> MergeShardRecords(
+    std::vector<std::vector<RunRecord>> shards) {
+  std::vector<RunRecord> merged;
+  for (std::vector<RunRecord>& shard : shards) {
+    // Per-shard resume cycles append superseding lines; apply the same
+    // last-wins rule resume does before cross-shard checks.
+    std::vector<RunRecord> deduped =
+        DedupeByCellKey(std::move(shard), nullptr);
+    for (RunRecord& record : deduped) {
+      if (record.cell_index < 0) {
+        return Status::InvalidArgument(
+            "record without a cell index (" + RunRecordCellKey(record) +
+            "): not a sharded-sweep journal");
+      }
+      merged.push_back(std::move(record));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const RunRecord& a, const RunRecord& b) {
+              return a.cell_index < b.cell_index;
+            });
+  for (size_t i = 0; i < merged.size(); ++i) {
+    const int64_t index = merged[i].cell_index;
+    if (index != static_cast<int64_t>(i)) {
+      return Status::InvalidArgument(StrFormat(
+          index > static_cast<int64_t>(i)
+              ? "shard journals are incomplete: cell %zu missing "
+                "(did every shard finish, and is every shard present?)"
+              : "duplicate cell %zu across shard journals "
+                "(same shard passed twice, or shards ran with "
+                "mismatched --shard specs)",
+          i));
+    }
+    // Strip the shard-only index: the merged stream must be
+    // byte-identical to an unsharded sweep's records.
+    merged[i].cell_index = -1;
+  }
+  return merged;
+}
+
+Result<size_t> MergeShardJournals(const std::vector<std::string>& shard_paths,
+                                  const std::string& out_path) {
+  if (shard_paths.empty()) {
+    return Status::InvalidArgument("no shard journals to merge");
+  }
+  std::vector<std::vector<RunRecord>> shards;
+  for (const std::string& path : shard_paths) {
+    GREEN_ASSIGN_OR_RETURN(JournalContents contents, ReadJournal(path));
+    if (contents.append_failures > 0) {
+      return Status::FailedPrecondition(StrFormat(
+          "journal %s is marked incomplete (%zu lost append(s)); re-run "
+          "that shard with --resume before merging",
+          path.c_str(), contents.append_failures));
+    }
+    if (contents.records.empty()) {
+      return Status::InvalidArgument("journal " + path +
+                                     " is empty or missing");
+    }
+    shards.push_back(std::move(contents.records));
+  }
+  GREEN_ASSIGN_OR_RETURN(std::vector<RunRecord> merged,
+                         MergeShardRecords(std::move(shards)));
+  GREEN_RETURN_IF_ERROR(WriteRecordsJsonl(merged, out_path));
+  return merged.size();
 }
 
 }  // namespace green

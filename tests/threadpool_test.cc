@@ -99,6 +99,64 @@ TEST(ThreadPoolTest, DefaultThreadsAtLeastOne) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1);
 }
 
+TEST(ThreadPoolTest, StealsRebalanceSkewedTaskCosts) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::atomic<bool> blocker_running{false};
+
+  // Pin one worker on a long task first, then queue short tasks. The
+  // round-robin submit path spreads them across both deques, so some
+  // land behind the blocked worker's deque — they can only complete by
+  // being stolen. The blocker releases only once every short task is
+  // done, so completion of Wait() PROVES the steals happened (and the
+  // counter confirms it).
+  pool.Submit([&] {
+    blocker_running.store(true, std::memory_order_release);
+    while (done.load(std::memory_order_acquire) < 8) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (!blocker_running.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_acq_rel); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_GT(pool.steals(), 0u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerNeverSteals) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+  EXPECT_EQ(pool.steals(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitFromInsideWorkerCompletesBeforeWait) {
+  // A task fanning out subtasks from inside the pool (the in-worker
+  // Submit path targets the worker's own deque; idle workers steal the
+  // overflow). Wait() must cover transitively submitted work.
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  pool.Submit([&pool, &done] {
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&pool, &done] {
+        pool.Submit([&done] { done.fetch_add(1); });
+        done.fetch_add(1);
+      });
+    }
+    done.fetch_add(1);
+  });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 1 + 16 * 2);
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(333);
   ParallelFor(hits.size(), 4,
