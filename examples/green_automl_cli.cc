@@ -53,6 +53,32 @@
 //                   with --merge-journals; per-shard --resume works
 //                   unchanged
 //
+// Serve mode (overload-resilient inference serving):
+//   --serve         fit the chosen system once, load the artifact into a
+//                   tiered degrade ladder (full -> best single ->
+//                   constant prior), and replay an open-loop request
+//                   trace through admission control, micro-batching, and
+//                   per-request deadlines on the virtual clock
+//   --trace KIND    synthetic trace shape: constant | diurnal | burst
+//                   (default: burst)
+//   --trace-file F  replay arrivals from a CSV ("arrival_seconds[,row]")
+//                   instead of generating one
+//   --rps R         mean arrival rate of the synthetic trace (default 20)
+//   --trace-seconds S  synthetic trace duration (default 30)
+//   --serve-queue N           admission queue bound
+//   --serve-batch N           micro-batch size cap
+//   --serve-batch-delay-ms M  how long a batch waits for company
+//   --serve-deadline-ms M     per-request deadline (0 = none)
+//   --serve-energy-slo-j J    per-request energy SLO (0 = none)
+//   --serve-policy P          deadline action: fail | degrade
+//   --serve-shed P            queue-full policy: newest | oldest
+//   Defaults come from GREEN_SERVE_QUEUE, GREEN_SERVE_BATCH,
+//   GREEN_SERVE_BATCH_DELAY_MS, GREEN_SERVE_DEADLINE_MS,
+//   GREEN_SERVE_ENERGY_SLO_J, GREEN_SERVE_POLICY, GREEN_SERVE_SHED;
+//   flags override. --breakdown prints the serving scope subtree;
+//   --faults/GREEN_FAULTS inject at serve.admit / serve.batch /
+//   serve.predict.
+//
 // Maintenance:
 //   --compact-journal PATH  rewrite a sweep journal keeping only the
 //                           last record per cell, then exit
@@ -69,11 +95,15 @@
 #include "green/bench_util/aggregate.h"
 #include "green/bench_util/experiment.h"
 #include "green/bench_util/record_io.h"
+#include "green/bench_util/table_printer.h"
 #include "green/common/stringutil.h"
 #include "green/common/thread_pool.h"
 #include "green/data/synthetic.h"
 #include "green/energy/co2.h"
+#include "green/energy/stage_ledger.h"
+#include "green/serve/inference_server.h"
 #include "green/table/csv.h"
+#include "green/table/split.h"
 
 namespace green {
 namespace {
@@ -119,7 +149,12 @@ int SweepMain(const std::string& sweep_systems,
         "cells it was missing were re-run\n");
   }
 
-  const std::string failures = RenderFailureSummary(*records);
+  // Lost journal appends never surface as records; hand them to the
+  // summary as their own fault-site row so a chaos sweep accounts for
+  // every injection, not just the cell-failing ones.
+  const std::string failures = RenderFailureSummary(
+      *records,
+      {{"journal.append", runner.last_sweep_journal_append_failures()}});
   if (!failures.empty()) std::printf("%s", failures.c_str());
   const std::string breakdown = RenderEnergyBreakdown(*records);
   if (!breakdown.empty()) std::printf("%s", breakdown.c_str());
@@ -160,6 +195,135 @@ int SweepMain(const std::string& sweep_systems,
   return measured.empty() ? 1 : 0;
 }
 
+/// Runs --serve mode: fit one artifact, build its degrade ladder, replay
+/// an open-loop trace through the inference server, and report latency,
+/// outcome, and energy-per-request numbers (plus the serving scope
+/// subtree under --breakdown).
+int ServeMain(const std::string& system_name, double budget,
+              const Dataset& dataset, ExperimentRunner& runner,
+              const ServePolicy& policy, const TraceSpec& trace_spec,
+              const std::string& trace_file, bool breakdown) {
+  const ExperimentConfig& config = runner.config();
+  Rng split_rng(1);
+  TrainTestData data =
+      Materialize(dataset, StratifiedSplit(dataset, 0.66, &split_rng));
+  EnergyModel energy_model(config.machine);
+
+  // Fit once, off the serving path — development happens before deploy.
+  auto system = runner.MakeSystem(system_name, budget);
+  if (!system.ok()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 system.status().ToString().c_str());
+    return 2;
+  }
+  VirtualClock fit_clock;
+  ExecutionContext fit_ctx(&fit_clock, &energy_model, config.cores);
+  AutoMlOptions options;
+  options.search_budget_seconds = budget * config.budget_scale;
+  options.cores = config.cores;
+  options.seed = config.seed;
+  auto run = (*system)->Fit(data.train, options, &fit_ctx);
+  if (!run.ok()) {
+    std::fprintf(stderr, "serve: fit failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+
+  auto ladder =
+      ArtifactLadder::Build(run->artifact, data.train, &energy_model);
+  if (!ladder.ok()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 ladder.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ServeRequest> trace;
+  if (!trace_file.empty()) {
+    auto loaded = LoadTraceCsv(trace_file, data.test.num_rows());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(loaded).value();
+  } else {
+    trace = GenerateTrace(trace_spec, data.test.num_rows());
+  }
+
+  const FaultInjector faults =
+      FaultInjector::Lenient(config.faults, config.seed);
+  InferenceServer server(std::move(ladder).value(), data.test,
+                         &energy_model, policy, &faults, config.cores);
+  auto report = server.Replay(trace);
+  if (!report.ok()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const Status conserved = report->CheckConservation();
+  if (!conserved.ok()) {
+    std::fprintf(stderr, "serve: conservation check FAILED: %s\n",
+                 conserved.ToString().c_str());
+    return 1;
+  }
+
+  StageLedger ledger;
+  ledger.Add(system_name, Stage::kServing, report->reading);
+
+  std::printf("\nserving           : %s artifact, %zu-tier ladder (",
+              system_name.c_str(), server.ladder().size());
+  for (size_t t = 0; t < server.ladder().size(); ++t) {
+    std::printf("%s%s", t > 0 ? " -> " : "",
+                server.ladder().tier(t).name.c_str());
+  }
+  std::printf(")\n");
+  std::printf("trace             : %s (%zu requests over %.1f s)\n",
+              trace_file.empty() ? TraceKindName(trace_spec.kind)
+                                 : trace_file.c_str(),
+              trace.size(), report->duration_seconds);
+  std::printf(
+      "policy            : queue=%zu batch=%zu delay=%.1fms "
+      "deadline=%.1fms slo=%.3gJ on_deadline=%s shed=%s\n",
+      policy.queue_capacity, policy.max_batch,
+      policy.batch_delay_seconds * 1e3, policy.deadline_seconds * 1e3,
+      policy.energy_slo_joules, DeadlineActionName(policy.on_deadline),
+      ShedPolicyName(policy.shed));
+  std::printf("outcomes          : %zu completed, %zu degraded, %zu "
+              "rejected, %zu deadline (of %zu; %zu batches)\n",
+              report->completed, report->degraded, report->rejected,
+              report->deadline_exceeded, report->arrived,
+              report->batches);
+  std::printf("latency           : p50 %.2f ms, p95 %.2f ms, p99 %.2f "
+              "ms (virtual)\n",
+              report->LatencyPercentile(0.50) * 1e3,
+              report->LatencyPercentile(0.95) * 1e3,
+              report->LatencyPercentile(0.99) * 1e3);
+  std::printf("energy            : %.4g J dynamic total, %.4g J per "
+              "request, %.3e kWh serving stage\n",
+              report->total_joules, report->JoulesPerRequest(),
+              ledger.Get(system_name, Stage::kServing).kwh());
+
+  if (breakdown) {
+    TablePrinter table({"scope", "joules", "share", "charges"});
+    const ScopeCharge total =
+        ledger.Rollup(system_name, StageName(Stage::kServing));
+    for (const ScopeRow& row : ledger.ScopeRows(system_name)) {
+      table.AddRow(
+          {row.path, StrFormat("%.6g", row.charge.joules),
+           StrFormat("%.1f%%", total.joules > 0.0
+                                   ? 100.0 * row.charge.joules /
+                                         total.joules
+                                   : 0.0),
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 row.charge.charges))});
+    }
+    std::printf("\n%s", table.Render().c_str());
+  }
+  std::printf("conservation      : ok (every request reached exactly one "
+              "terminal outcome)\n");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   std::string system_name = "caml";
   double budget = 30.0;
@@ -182,6 +346,13 @@ int Main(int argc, char** argv) {
   std::vector<std::string> merge_paths;
   std::string merge_out;
   bool merge_mode = false;
+  bool serve_mode = false;
+  ServePolicy serve_policy = ServePolicyFromEnv();
+  TraceSpec trace_spec;
+  trace_spec.kind = TraceSpec::Kind::kBurst;
+  trace_spec.rate_rps = 20.0;
+  trace_spec.duration_seconds = 30.0;
+  std::string trace_file;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -220,6 +391,53 @@ int Main(int argc, char** argv) {
       breakdown = true;
     } else if (std::strcmp(argv[i], "--transform-cache") == 0) {
       transform_cache = std::atoi(next()) != 0;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_mode = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      auto kind = TraceKindFromName(next());
+      if (!kind.ok()) {
+        std::fprintf(stderr, "--trace: %s\n",
+                     kind.status().ToString().c_str());
+        return 2;
+      }
+      trace_spec.kind = *kind;
+    } else if (std::strcmp(argv[i], "--trace-file") == 0) {
+      trace_file = next();
+    } else if (std::strcmp(argv[i], "--rps") == 0) {
+      trace_spec.rate_rps = std::atof(next());
+    } else if (std::strcmp(argv[i], "--trace-seconds") == 0) {
+      trace_spec.duration_seconds = std::atof(next());
+    } else if (std::strcmp(argv[i], "--serve-queue") == 0) {
+      serve_policy.queue_capacity = static_cast<size_t>(
+          std::clamp(std::atol(next()), 1L, 1L << 20));
+    } else if (std::strcmp(argv[i], "--serve-batch") == 0) {
+      serve_policy.max_batch =
+          static_cast<size_t>(std::clamp(std::atol(next()), 1L, 4096L));
+    } else if (std::strcmp(argv[i], "--serve-batch-delay-ms") == 0) {
+      serve_policy.batch_delay_seconds =
+          std::clamp(std::atof(next()), 0.0, 60000.0) / 1e3;
+    } else if (std::strcmp(argv[i], "--serve-deadline-ms") == 0) {
+      serve_policy.deadline_seconds =
+          std::clamp(std::atof(next()), 0.0, 3600000.0) / 1e3;
+    } else if (std::strcmp(argv[i], "--serve-energy-slo-j") == 0) {
+      serve_policy.energy_slo_joules =
+          std::clamp(std::atof(next()), 0.0, 1e12);
+    } else if (std::strcmp(argv[i], "--serve-policy") == 0) {
+      auto action = DeadlineActionFromName(next());
+      if (!action.ok()) {
+        std::fprintf(stderr, "--serve-policy: %s\n",
+                     action.status().ToString().c_str());
+        return 2;
+      }
+      serve_policy.on_deadline = *action;
+    } else if (std::strcmp(argv[i], "--serve-shed") == 0) {
+      auto shed_policy = ShedPolicyFromName(next());
+      if (!shed_policy.ok()) {
+        std::fprintf(stderr, "--serve-shed: %s\n",
+                     shed_policy.status().ToString().c_str());
+        return 2;
+      }
+      serve_policy.shed = *shed_policy;
     } else if (std::strcmp(argv[i], "--compact-journal") == 0) {
       compact_path = next();
     } else if (std::strcmp(argv[i], "--shard") == 0) {
@@ -315,6 +533,12 @@ int Main(int argc, char** argv) {
     spec.seed = 4242;
     dataset = GenerateSynthetic(spec).value();
     std::printf("(no --csv given: using a built-in synthetic demo task)\n");
+  }
+
+  if (serve_mode) {
+    trace_spec.seed = config.seed;
+    return ServeMain(system_name, budget, dataset, runner, serve_policy,
+                     trace_spec, trace_file, breakdown);
   }
 
   // One full measured run through the same harness the benches use.

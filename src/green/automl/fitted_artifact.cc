@@ -30,6 +30,18 @@ FittedArtifact FittedArtifact::Stacked(std::vector<Member> base,
   return out;
 }
 
+Result<FittedArtifact> FittedArtifact::DistillBestSingle() const {
+  if (base_.empty()) {
+    return Status::FailedPrecondition("artifact is empty");
+  }
+  const Member* best = &base_[0];
+  for (const Member& m : base_) {
+    if (m.weight > best->weight) best = &m;
+  }
+  GREEN_CHECK(!best->folds.empty());
+  return Single(best->folds[0]);
+}
+
 size_t FittedArtifact::NumPipelines() const {
   size_t n = 0;
   for (const Member& m : base_) n += m.folds.size();
@@ -45,6 +57,9 @@ Result<ProbaMatrix> FittedArtifact::MemberProba(
   for (const auto& fold : member.folds) {
     GREEN_ASSIGN_OR_RETURN(ProbaMatrix proba,
                            fold->PredictProba(data, ctx));
+    if (ctx->Interrupted()) {
+      return Status::DeadlineExceeded("artifact: interrupted mid-predict");
+    }
     if (sum.empty()) {
       sum = std::move(proba);
     } else {
@@ -101,6 +116,9 @@ Result<ProbaMatrix> FittedArtifact::PredictProba(
                        static_cast<double>(base_.size()) *
                        static_cast<double>(base_probas[0][0].size()),
                    0.0);
+    if (ctx->Interrupted()) {
+      return Status::DeadlineExceeded("artifact: interrupted mid-predict");
+    }
     return out;
   }
 
@@ -148,6 +166,9 @@ Result<ProbaMatrix> FittedArtifact::PredictProba(
     for (size_t i = 0; i < data.num_rows(); ++i) {
       for (size_t c = 0; c < k; ++c) out[i][c] += w * meta_probas[j][i][c];
     }
+  }
+  if (ctx->Interrupted()) {
+    return Status::DeadlineExceeded("artifact: interrupted mid-predict");
   }
   return out;
 }

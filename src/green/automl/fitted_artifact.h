@@ -43,10 +43,21 @@ class FittedArtifact {
   /// Total pipelines that execute per prediction (all folds, all layers).
   size_t NumPipelines() const;
 
+  /// Both predict entry points poll the context between member
+  /// pipelines and unwind with DEADLINE_EXCEEDED when a charge was
+  /// truncated mid-predict (watchdog cancellation, or a serving-layer
+  /// hard deadline) — the inference-side mirror of the mid-fit unwind.
   Result<ProbaMatrix> PredictProba(const Dataset& data,
                                    ExecutionContext* ctx) const;
   Result<std::vector<int>> Predict(const Dataset& data,
                                    ExecutionContext* ctx) const;
+
+  /// The one-pipeline degradation of this artifact: the highest-weight
+  /// base member's first fold as a Single artifact. For a stack this
+  /// drops the meta layer entirely. This is the serving ladder's middle
+  /// tier — the cheaper fallback an overloaded server degrades to
+  /// (inference cost shrinks by the ensemble factor of O1).
+  Result<FittedArtifact> DistillBestSingle() const;
 
   /// Abstract inference work per row — the quantity CAML's constraint
   /// bounds and Table 4's trillion-prediction projection scales up.

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "green/bench_util/table_printer.h"
+#include "green/common/fault.h"
 #include "green/common/mathutil.h"
 #include "green/common/stringutil.h"
 
@@ -106,23 +107,74 @@ std::vector<std::pair<std::string, OutcomeCounts>> CountOutcomes(
   return out;
 }
 
-std::string RenderFailureSummary(const std::vector<RunRecord>& records) {
+std::string RenderFailureSummary(
+    const std::vector<RunRecord>& records,
+    const std::vector<std::pair<std::string, size_t>>& extra_failures) {
+  size_t extra_total = 0;
+  for (const auto& [site, count] : extra_failures) extra_total += count;
+
   const auto counts = CountOutcomes(records);
   bool any_non_ok = false;
   for (const auto& [system, c] : counts) {
     if (c.failed + c.timeout + c.skipped > 0) any_non_ok = true;
   }
-  if (!any_non_ok) return std::string();
+  if (!any_non_ok && extra_total == 0) return std::string();
 
-  TablePrinter table({"system", "cells", "ok", "failed", "timeout",
-                      "skipped"});
-  for (const auto& [system, c] : counts) {
-    table.AddRow({system, StrFormat("%zu", c.total()),
-                  StrFormat("%zu", c.ok), StrFormat("%zu", c.failed),
-                  StrFormat("%zu", c.timeout),
-                  StrFormat("%zu", c.skipped)});
+  std::string out;
+  if (any_non_ok) {
+    TablePrinter table({"system", "cells", "ok", "failed", "timeout",
+                        "skipped"});
+    for (const auto& [system, c] : counts) {
+      table.AddRow({system, StrFormat("%zu", c.total()),
+                    StrFormat("%zu", c.ok), StrFormat("%zu", c.failed),
+                    StrFormat("%zu", c.timeout),
+                    StrFormat("%zu", c.skipped)});
+    }
+    out += table.Render();
   }
-  return table.Render();
+
+  // Per-fault-site breakdown: only failures that trace back to an
+  // injected fault (or were handed in via extra_failures) appear, so
+  // sweeps with purely organic skips/timeouts keep the original output.
+  struct SiteCounts {
+    size_t failed = 0;
+    size_t timeout = 0;
+    size_t skipped = 0;
+  };
+  std::map<std::string, SiteCounts> sites;
+  for (const RunRecord& record : records) {
+    if (record.ok()) continue;
+    const std::string site = InjectedFaultSite(record.error);
+    if (site.empty()) continue;
+    SiteCounts& c = sites[site];
+    switch (record.outcome) {
+      case RunOutcome::kOk:
+        break;
+      case RunOutcome::kFailed:
+        ++c.failed;
+        break;
+      case RunOutcome::kTimeout:
+        ++c.timeout;
+        break;
+      case RunOutcome::kSkipped:
+        ++c.skipped;
+        break;
+    }
+  }
+  for (const auto& [site, count] : extra_failures) {
+    if (count > 0) sites[site].failed += count;
+  }
+  if (!sites.empty()) {
+    TablePrinter table({"fault site", "failed", "timeout", "skipped"});
+    for (const auto& [site, c] : sites) {
+      table.AddRow({site, StrFormat("%zu", c.failed),
+                    StrFormat("%zu", c.timeout),
+                    StrFormat("%zu", c.skipped)});
+    }
+    out += "-- failures by injected fault site --\n";
+    out += table.Render();
+  }
+  return out;
 }
 
 std::string RenderTransformCacheStats(const TransformCacheStats& stats,

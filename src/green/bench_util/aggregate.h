@@ -63,7 +63,17 @@ std::vector<std::pair<std::string, OutcomeCounts>> CountOutcomes(
 
 /// AMLB-style failure table: one row per system with ok/failed/timeout/
 /// skipped counts. Empty string when every cell succeeded.
-std::string RenderFailureSummary(const std::vector<RunRecord>& records);
+///
+/// When any non-ok record's error carries an injected-fault marker (see
+/// InjectedFaultSite), a second table breaks the failures down per fault
+/// site, so a chaos run shows exactly which injection points produced
+/// which outcomes. `extra_failures` appends failure counts that never
+/// surface as records — e.g. lost `journal.append` writes — as their own
+/// site rows; zero-count entries are dropped. Sweeps without injections
+/// and without extra failures render exactly the original table.
+std::string RenderFailureSummary(
+    const std::vector<RunRecord>& records,
+    const std::vector<std::pair<std::string, size_t>>& extra_failures = {});
 
 /// Hierarchical energy attribution table from the per-scope breakdowns
 /// collected under --breakdown (ExperimentConfig::collect_scopes). One

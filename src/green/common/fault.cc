@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "green/common/logging.h"
@@ -118,6 +119,25 @@ Status MakeInjectedStatus(FaultKind kind, const std::string& site) {
       FatalError("injected abort at " + site);
   }
   return Status::Internal("injected fault at " + site);
+}
+
+std::string InjectedFaultSite(const std::string& message) {
+  for (const char* marker :
+       {"injected fault at ", "injected timeout at ", "injected skip at ",
+        "injected abort at "}) {
+    const size_t pos = message.find(marker);
+    if (pos == std::string::npos) continue;
+    std::string site = message.substr(pos + std::strlen(marker));
+    // Injected statuses end at the site name; if other context was
+    // appended after it (" (while ...)", "; retry ..."), cut at the
+    // first character that cannot be part of a site identifier.
+    const size_t end = site.find_first_not_of(
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        "0123456789._-");
+    if (end != std::string::npos) site.resize(end);
+    return site;
+  }
+  return std::string();
 }
 
 FaultScope::FaultScope(std::string key)

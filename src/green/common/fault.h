@@ -51,6 +51,13 @@ Result<std::vector<FaultSpec>> ParseFaultSpecs(const std::string& config);
 /// paths can be tested with death tests / subprocesses.
 Status MakeInjectedStatus(FaultKind kind, const std::string& site);
 
+/// Recovers the fault site from a message produced by
+/// MakeInjectedStatus (possibly wrapped in a Status::ToString prefix or
+/// other context). Empty string when the message does not carry an
+/// injected-fault marker — i.e. the failure was organic. This is what
+/// lets failure summaries break non-ok outcomes down per fault site.
+std::string InjectedFaultSite(const std::string& message);
+
 /// Establishes a deterministic decision scope for probabilistic faults on
 /// the current thread (RAII, nestable). While a scope is active, `@p`
 /// decisions are a pure function of (injector seed, site, scope key,

@@ -96,6 +96,12 @@ class EnergyMeter {
   /// without ending it.
   EnergyReading Peek(double clock_now) const;
 
+  /// Dynamic joules recorded so far (CPU + GPU + DRAM; excludes the
+  /// static/idle baseline that Stop charges for elapsed wall time).
+  /// Cheap enough to poll per request/batch: the serving layer takes
+  /// deltas of this around each micro-batch to attribute Joules/request.
+  double dynamic_joules() const { return dynamic_.TotalJoules(); }
+
   bool running() const { return running_; }
 
  private:

@@ -12,6 +12,8 @@ const char* StageName(Stage stage) {
       return "execution";
     case Stage::kInference:
       return "inference";
+    case Stage::kServing:
+      return "serving";
   }
   return "?";
 }
@@ -47,7 +49,7 @@ EnergyReading StageLedger::Get(const std::string& system,
 double StageLedger::TotalKwh(const std::string& system) const {
   double total = 0.0;
   for (Stage s : {Stage::kDevelopment, Stage::kExecution,
-                  Stage::kInference}) {
+                  Stage::kInference, Stage::kServing}) {
     total += Get(system, s).kwh();
   }
   return total;

@@ -10,8 +10,15 @@
 namespace green {
 
 /// The three AutoML life-cycle stages of Tornede et al. that the paper's
-/// holistic analysis attributes energy to.
-enum class Stage { kDevelopment = 0, kExecution = 1, kInference = 2 };
+/// holistic analysis attributes energy to, plus the online serving stage
+/// the inference server adds on top (per-request inference under load,
+/// ML.ENERGY-style — distinct from the paper's offline test-set pass).
+enum class Stage {
+  kDevelopment = 0,
+  kExecution = 1,
+  kInference = 2,
+  kServing = 3,
+};
 
 const char* StageName(Stage stage);
 

@@ -1,0 +1,89 @@
+#include "green/serve/artifact_ladder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "green/energy/energy_meter.h"
+#include "green/sim/execution_context.h"
+#include "green/sim/virtual_clock.h"
+
+namespace green {
+
+namespace {
+
+/// Measures a tier's per-row predict cost on a throwaway clock/meter.
+Status ProbeTier(const Dataset& probe, const EnergyModel* model,
+                 ArtifactTier* tier) {
+  VirtualClock clock;
+  ExecutionContext ctx(&clock, model, /*cores=*/1);
+  EnergyMeter meter(model);
+  meter.Start(clock.Now());
+  ctx.SetMeter(&meter);
+  Result<ProbaMatrix> proba = tier->PredictProba(probe, &ctx);
+  if (!proba.ok()) return proba.status();
+  const double rows = static_cast<double>(probe.num_rows());
+  tier->est_seconds_per_row = clock.Now() / rows;
+  tier->est_joules_per_row = meter.dynamic_joules() / rows;
+  meter.Stop(clock.Now());
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ProbaMatrix> ArtifactTier::PredictProba(const Dataset& batch,
+                                               ExecutionContext* ctx) const {
+  if (!IsConstant()) return artifact.PredictProba(batch, ctx);
+  // Constant class-prior answer: one lookup's worth of work per row.
+  ProbaMatrix out(batch.num_rows());
+  for (auto& row : out) row = constant_proba;
+  ctx->ChargeCpu(static_cast<double>(batch.num_rows()) *
+                     static_cast<double>(constant_proba.size()),
+                 0.0);
+  return out;
+}
+
+Result<ArtifactLadder> ArtifactLadder::Build(const FittedArtifact& artifact,
+                                             const Dataset& train,
+                                             const EnergyModel* model,
+                                             size_t probe_rows) {
+  if (artifact.empty()) {
+    return Status::FailedPrecondition("ladder: artifact is empty");
+  }
+  if (train.num_rows() == 0) {
+    return Status::FailedPrecondition("ladder: train set is empty");
+  }
+  ArtifactLadder ladder;
+
+  ArtifactTier full;
+  full.name = "full";
+  full.artifact = artifact;
+  ladder.tiers_.push_back(std::move(full));
+
+  if (artifact.NumPipelines() > 1) {
+    ArtifactTier single;
+    single.name = "single";
+    GREEN_ASSIGN_OR_RETURN(single.artifact, artifact.DistillBestSingle());
+    ladder.tiers_.push_back(std::move(single));
+  }
+
+  ArtifactTier constant;
+  constant.name = "constant";
+  const std::vector<int> counts = train.ClassCounts();
+  constant.constant_proba.assign(counts.size(), 0.0);
+  for (size_t c = 0; c < counts.size(); ++c) {
+    constant.constant_proba[c] = static_cast<double>(counts[c]) /
+                                 static_cast<double>(train.num_rows());
+  }
+  ladder.tiers_.push_back(std::move(constant));
+
+  std::vector<size_t> rows(
+      std::max<size_t>(1, std::min(probe_rows, train.num_rows())));
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const Dataset probe = train.Subset(rows);
+  for (ArtifactTier& tier : ladder.tiers_) {
+    GREEN_RETURN_IF_ERROR(ProbeTier(probe, model, &tier));
+  }
+  return ladder;
+}
+
+}  // namespace green

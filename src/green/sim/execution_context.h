@@ -100,9 +100,16 @@ class ExecutionContext {
   bool Interrupted() const { return charge_truncated_ || Cancelled(); }
 
   /// True when the most recent Charge stopped before completing all of
-  /// its slices. Sticky until the context is destroyed — a truncated
-  /// charge means the surrounding run is being torn down.
+  /// its slices. Sticky until the context is destroyed or explicitly
+  /// re-armed — for sweep cells a truncated charge means the surrounding
+  /// run is being torn down.
   bool charge_truncated() const { return charge_truncated_; }
+
+  /// Re-arms the context after a truncated charge. Long-lived serving
+  /// contexts enforce a *per-request* deadline via hard-deadline slicing
+  /// and then keep going (degrade, serve the next request); sweep cells
+  /// never call this. Does not clear an external CancelToken.
+  void ClearChargeTruncation() { charge_truncated_ = false; }
 
   /// Total charge slices completed on this context. A charge shorter than
   /// the slice bound counts one slice; a cancelled fit completes fewer

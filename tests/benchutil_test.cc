@@ -463,6 +463,57 @@ TEST_F(FaultyRunnerTest, ExactlyKCellsFailWithCorrectTaxonomy) {
   EXPECT_EQ(counts[0].second.timeout, 1u);
 }
 
+TEST_F(FaultyRunnerTest, FailureSummaryBreaksFailuresDownPerFaultSite) {
+  std::vector<RunRecord> records(4);
+  records[0].system = "caml";
+  records[0].outcome = RunOutcome::kFailed;
+  records[0].error = "run failed: injected fault at run.fit (attempt 1)";
+  records[1].system = "caml";
+  records[1].outcome = RunOutcome::kTimeout;
+  records[1].error = "injected timeout at serve.predict";
+  records[2].system = "flaml";
+  records[2].outcome = RunOutcome::kFailed;
+  records[2].error = "organic: singular matrix";  // No marker: no site row.
+  records[3].system = "flaml";
+  records[3].outcome = RunOutcome::kOk;
+
+  const std::string summary = RenderFailureSummary(records);
+  EXPECT_NE(summary.find("failures by injected fault site"),
+            std::string::npos);
+  EXPECT_NE(summary.find("run.fit"), std::string::npos);
+  EXPECT_NE(summary.find("serve.predict"), std::string::npos);
+  EXPECT_EQ(summary.find("singular"), std::string::npos);
+
+  // Purely organic failures keep the original one-table output.
+  const std::string organic =
+      RenderFailureSummary({records[2], records[3]});
+  EXPECT_NE(organic.find("flaml"), std::string::npos);
+  EXPECT_EQ(organic.find("fault site"), std::string::npos);
+}
+
+TEST_F(FaultyRunnerTest, FailureSummaryAppendsExtraFailureSites) {
+  std::vector<RunRecord> records(1);
+  records[0].system = "caml";
+  records[0].outcome = RunOutcome::kOk;
+
+  // All cells ok, but the harness lost journal writes: the summary must
+  // still surface them as a site row.
+  const std::string summary =
+      RenderFailureSummary(records, {{"journal.append", 3}});
+  EXPECT_NE(summary.find("journal.append"), std::string::npos);
+  EXPECT_NE(summary.find("3"), std::string::npos);
+  // Zero-count extras render nothing at all.
+  EXPECT_TRUE(RenderFailureSummary(records, {{"journal.append", 0}})
+                  .empty());
+}
+
+TEST_F(FaultyRunnerTest, InjectedFaultSiteExtraction) {
+  EXPECT_EQ(InjectedFaultSite("injected fault at run.fit"), "run.fit");
+  EXPECT_EQ(InjectedFaultSite("x: injected timeout at serve.batch (y)"),
+            "serve.batch");
+  EXPECT_EQ(InjectedFaultSite("no marker here"), "");
+}
+
 TEST_F(FaultyRunnerTest, RetryRecoversSingleShotFault) {
   ExperimentConfig config = SmallConfig();
   config.dataset_limit = 2;

@@ -16,6 +16,7 @@
 
 #include "green/automl/askl_meta_cache.h"
 #include "green/automl/caml_system.h"
+#include "green/automl/fitted_artifact.h"
 #include "green/bench_util/aggregate.h"
 #include "green/bench_util/experiment.h"
 #include "green/bench_util/record_io.h"
@@ -264,6 +265,71 @@ TEST_F(ChargeScopeTest, WatchdogCancelsRandomForestMidFit) {
   EXPECT_LT(forest.num_trees(), static_cast<size_t>(params.num_trees));
   EXPECT_LT(ctx_.charge_slices(), full_ctx.charge_slices());
   EXPECT_TRUE(ctx_.Interrupted());
+}
+
+// --- Mid-predict cancellation (the serving-side mirror) ---------------
+
+TEST_F(ChargeScopeTest, WatchdogCancelsArtifactMidPredict) {
+  SyntheticSpec spec;
+  spec.name = "big";
+  spec.num_rows = 900;
+  spec.num_features = 14;
+  spec.num_informative = 10;
+  spec.seed = 11;
+  Dataset data = GenerateSynthetic(spec).value();
+
+  // A heavyweight ensemble: two large forests, so PredictProba issues
+  // enough sliced charges for a watchdog to land mid-predict.
+  RandomForestParams params;
+  params.num_trees = 400;
+  params.max_depth = 12;
+  std::vector<FittedArtifact::Member> members;
+  for (uint64_t seed : {5u, 6u}) {
+    VirtualClock fit_clock;
+    ExecutionContext fit_ctx(&fit_clock, &energy_model_, 1);
+    params.seed = seed;
+    auto pipeline = std::make_shared<Pipeline>();
+    pipeline->SetModel(std::make_unique<RandomForest>(params));
+    ASSERT_TRUE(pipeline->Fit(data, &fit_ctx).ok());
+    FittedArtifact::Member member;
+    member.folds.push_back(std::move(pipeline));
+    members.push_back(std::move(member));
+  }
+  const FittedArtifact artifact =
+      FittedArtifact::Weighted(std::move(members));
+
+  // Reference: the same predict run to completion.
+  VirtualClock full_clock;
+  ExecutionContext full_ctx(&full_clock, &energy_model_, 1);
+  full_ctx.SetMaxSliceSeconds(1e-4);
+  ASSERT_TRUE(artifact.PredictProba(data, &full_ctx).ok());
+  ASSERT_GT(full_ctx.charge_slices(), 1u);
+
+  // Cancelled: a watchdog thread flips the token while PredictProba is
+  // running — the serving-side mirror of the mid-fit unwind above.
+  EnergyMeter meter(&energy_model_);
+  meter.Start(clock_.Now());
+  ctx_.SetMeter(&meter);
+  CancelToken token;
+  ctx_.SetCancelToken(&token);
+  ctx_.SetMaxSliceSeconds(1e-4);
+  std::thread watchdog([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    token.Cancel();
+  });
+  auto proba = artifact.PredictProba(data, &ctx_);
+  watchdog.join();
+  EnergyReading reading = meter.Stop(clock_.Now());
+
+  // The predict must unwind with DEADLINE_EXCEEDED before completing:
+  // fewer charge slices than the full predict, and the meter only saw
+  // the completed fraction — scope joules still sum to the dynamic total.
+  ASSERT_FALSE(proba.ok());
+  EXPECT_EQ(proba.status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_LT(ctx_.charge_slices(), full_ctx.charge_slices());
+  EXPECT_TRUE(ctx_.Interrupted());
+  EXPECT_NEAR(SumScopeJoules(reading), DynamicJoules(reading.breakdown),
+              1e-9 + 1e-6 * DynamicJoules(reading.breakdown));
 }
 
 // --- Conservation across every system --------------------------------
