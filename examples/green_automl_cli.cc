@@ -3,6 +3,7 @@
 // optionally exporting the raw measurement as JSON.
 //
 //   green_automl_cli [--system NAME] [--budget SECONDS] [--csv FILE]
+//                    [--task binary|multiclass|regression]
 //                    [--cores N] [--jobs N] [--constraint SECONDS_PER_ROW]
 //                    [--json OUT.jsonl] [--breakdown] [--transform-cache 0|1]
 //                    [--sweep SYS1,SYS2,...] [--budgets B1,B2,...]
@@ -13,10 +14,15 @@
 //
 //   --system      tabpfn | caml | caml_tuned | flaml | autogluon |
 //                 autogluon_refit | autosklearn1 | autosklearn2 | tpot |
-//                 random_search              (default: caml)
+//                 random_search | autopt     (default: caml)
 //   --budget      search budget in PAPER seconds (default: 30)
 //   --csv         dataset in the library's CSV format (last column
-//                 "label"); omitted = a built-in synthetic demo task
+//                 "label" for classification, "target" for regression —
+//                 the task type follows the header); omitted = a
+//                 built-in synthetic demo task
+//   --task        binary | multiclass | regression: which built-in demo
+//                 task to generate when --csv is omitted (default:
+//                 multiclass)
 //   --cores       simulated CPU cores (default: 1)
 //   --jobs        host worker threads for harness sweeps; 0 = all
 //                 hardware threads (default: $GREEN_JOBS, else 1)
@@ -206,7 +212,7 @@ int ServeMain(const std::string& system_name, double budget,
   const ExperimentConfig& config = runner.config();
   Rng split_rng(1);
   TrainTestData data =
-      Materialize(dataset, StratifiedSplit(dataset, 0.66, &split_rng));
+      Materialize(dataset, SplitForTask(dataset, 0.66, &split_rng));
   EnergyModel energy_model(config.machine);
 
   // Fit once, off the serving path — development happens before deploy.
@@ -353,6 +359,7 @@ int Main(int argc, char** argv) {
   trace_spec.rate_rps = 20.0;
   trace_spec.duration_seconds = 30.0;
   std::string trace_file;
+  std::string demo_task = "multiclass";
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -364,6 +371,15 @@ int Main(int argc, char** argv) {
       budget = std::atof(next());
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv_path = next();
+    } else if (std::strcmp(argv[i], "--task") == 0) {
+      demo_task = next();
+      if (!ParseTaskType(demo_task).ok()) {
+        std::fprintf(stderr,
+                     "--task: want binary|multiclass|regression, got "
+                     "\"%s\"\n",
+                     demo_task.c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_path = next();
     } else if (std::strcmp(argv[i], "--cores") == 0) {
@@ -520,6 +536,18 @@ int Main(int argc, char** argv) {
       return 1;
     }
     dataset = std::move(loaded).value();
+  } else if (demo_task == "regression") {
+    SyntheticRegressionSpec spec;
+    spec.name = "demo_regression";
+    spec.num_rows = 500;
+    spec.num_features = 12;
+    spec.num_informative = 7;
+    spec.num_categorical = 3;
+    spec.noise = 0.4;
+    spec.seed = 4242;
+    dataset = GenerateSyntheticRegression(spec).value();
+    std::printf(
+        "(no --csv given: using a built-in synthetic regression task)\n");
   } else {
     SyntheticSpec spec;
     spec.name = "demo";
@@ -527,7 +555,7 @@ int Main(int argc, char** argv) {
     spec.num_features = 12;
     spec.num_informative = 7;
     spec.num_categorical = 3;
-    spec.num_classes = 3;
+    spec.num_classes = demo_task == "binary" ? 2 : 3;
     spec.separation = 2.2;
     spec.label_noise = 0.05;
     spec.seed = 4242;
@@ -552,13 +580,24 @@ int Main(int argc, char** argv) {
   (void)constraint;  // Reported below for CAML users.
 
   std::printf("\nsystem            : %s\n", record->system.c_str());
-  std::printf("dataset           : %s (%zu rows x %zu features, %d "
-              "classes)\n",
-              dataset.name().c_str(), dataset.num_rows(),
-              dataset.num_features(), dataset.num_classes());
+  if (dataset.task() == TaskType::kRegression) {
+    std::printf("dataset           : %s (%zu rows x %zu features, "
+                "regression)\n",
+                dataset.name().c_str(), dataset.num_rows(),
+                dataset.num_features());
+  } else {
+    std::printf("dataset           : %s (%zu rows x %zu features, %d "
+                "classes)\n",
+                dataset.name().c_str(), dataset.num_rows(),
+                dataset.num_features(), dataset.num_classes());
+  }
   std::printf("search budget     : %.0f s (paper scale)\n", budget);
-  std::printf("balanced accuracy : %.3f\n",
-              record->test_balanced_accuracy);
+  if (record->task == TaskType::kRegression) {
+    std::printf("test rmse         : %.3f\n", record->test_metric);
+  } else {
+    std::printf("balanced accuracy : %.3f\n",
+                record->test_balanced_accuracy);
+  }
   std::printf("execution         : %.1f s, %.5f kWh\n",
               record->execution_seconds, record->execution_kwh);
   std::printf("inference         : %.3e kWh per instance\n",

@@ -89,17 +89,18 @@ Result<AutoMlRunResult> AsklSystem::Fit(const Dataset& train,
 
   Rng rng(options.seed);
   TrainTestIndices split =
-      StratifiedSplit(train, 1.0 - params_.holdout_fraction, &rng);
+      SplitForTask(train, 1.0 - params_.holdout_fraction, &rng);
   TrainTestData holdout = Materialize(train, split);
 
   // Table 1: ASKL searches data AND feature preprocessors + models, the
   // broadest space of the studied systems (also the reason its very
   // first sampled pipeline can blow the whole budget).
   PipelineSpaceOptions space_options;
-  space_options.models = {"decision_tree",  "random_forest",
-                          "extra_trees",    "gradient_boosting", "adaboost",
-                          "logistic_regression", "knn",
-                          "naive_bayes",    "mlp"};
+  space_options.models = FilterModelsForTask(
+      {"decision_tree", "random_forest", "extra_trees",
+       "gradient_boosting", "adaboost", "logistic_regression", "knn",
+       "naive_bayes", "mlp"},
+      train.task());
   space_options.include_data_preprocessors = true;
   space_options.include_feature_preprocessors = true;
   PipelineSearchSpace space(space_options);
@@ -174,7 +175,9 @@ Result<AutoMlRunResult> AsklSystem::Fit(const Dataset& train,
   if (library.empty()) {
     ChargeScope phase(ctx, "fallback");
     PipelineConfig fallback;
-    fallback.model = "naive_bayes";
+    fallback.model = train.task() == TaskType::kRegression
+                         ? "decision_tree"
+                         : "naive_bayes";
     fallback.seed = options.seed;
     GREEN_ASSIGN_OR_RETURN(
         EvaluatedPipeline evaluated,
@@ -201,9 +204,8 @@ Result<AutoMlRunResult> AsklSystem::Fit(const Dataset& train,
   for (const auto& member : library) lib_proba.push_back(member.val_proba);
   CaruanaOptions caruana_options;
   caruana_options.max_rounds = params_.caruana_rounds;
-  const CaruanaResult caruana = CaruanaEnsembleSelection(
-      lib_proba, holdout.test.labels(), holdout.test.num_classes(),
-      caruana_options);
+  const CaruanaResult caruana =
+      CaruanaEnsembleSelection(lib_proba, holdout.test, caruana_options);
   ctx->ChargeCpu(caruana.work, 0.0, /*parallel_fraction=*/0.5);
 
   std::vector<FittedArtifact::Member> members;

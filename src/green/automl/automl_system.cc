@@ -17,12 +17,9 @@ Result<EvaluatedPipeline> TrainAndScore(const PipelineConfig& config,
   out.pipeline = std::make_shared<Pipeline>(std::move(pipeline));
   GREEN_ASSIGN_OR_RETURN(out.val_proba,
                          out.pipeline->PredictProba(val_data, ctx));
-  std::vector<int> preds(out.val_proba.size());
-  for (size_t i = 0; i < preds.size(); ++i) {
-    preds[i] = static_cast<int>(ArgMax(out.val_proba[i]));
-  }
-  out.val_score =
-      BalancedAccuracy(val_data.labels(), preds, val_data.num_classes());
+  // Higher-is-better for every task (balanced accuracy, or -RMSE for
+  // regression), so every system's "keep the best" logic is task-blind.
+  out.val_score = PrimaryScore(val_data, out.val_proba);
   return out;
 }
 

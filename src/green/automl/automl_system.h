@@ -59,6 +59,15 @@ class AutoMlSystem {
 
   virtual BudgetPolicyKind budget_policy() const = 0;
 
+  /// Whether the system can fit datasets of this task type. Systems that
+  /// cannot (e.g. TabPFN is classification-only) return false here AND
+  /// reject from Fit with Unimplemented; the harness maps either signal
+  /// to a skipped cell rather than a failure.
+  virtual bool SupportsTask(TaskType task) const {
+    (void)task;
+    return true;
+  }
+
   virtual Result<AutoMlRunResult> Fit(const Dataset& train,
                                       const AutoMlOptions& options,
                                       ExecutionContext* ctx) = 0;

@@ -1,0 +1,184 @@
+#include "green/automl/autopt_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <limits>
+#include <vector>
+
+#include "green/common/logging.h"
+#include "green/search/successive_halving.h"
+#include "green/table/split.h"
+
+namespace green {
+
+namespace {
+
+/// One ladder arm: an MLP pipeline config at FULL fidelity; rungs scale
+/// the epoch count down by their budget fraction.
+struct Arm {
+  PipelineConfig config;
+  int full_epochs = 0;
+};
+
+std::vector<Arm> SampleArms(int num_arms, uint64_t seed, Rng* rng) {
+  static const int kHiddenChoices[] = {8, 16, 24, 32, 48, 64};
+  static const int kEpochChoices[] = {20, 30, 40, 60};
+  std::vector<Arm> arms;
+  arms.reserve(static_cast<size_t>(num_arms));
+  for (int a = 0; a < num_arms; ++a) {
+    Arm arm;
+    arm.config.model = "mlp";
+    arm.config.scaler = rng->NextBool() ? "standard" : "minmax";
+    arm.config.params["hidden_units"] = static_cast<double>(
+        kHiddenChoices[rng->NextBounded(std::size(kHiddenChoices))]);
+    arm.full_epochs =
+        kEpochChoices[rng->NextBounded(std::size(kEpochChoices))];
+    // Log-uniform learning rate in [0.01, 0.2].
+    arm.config.params["learning_rate"] =
+        0.01 * std::pow(20.0, rng->NextDouble());
+    arm.config.params["batch_size"] =
+        rng->NextBool() ? 32.0 : 64.0;
+    arm.config.seed = HashCombine(seed, static_cast<uint64_t>(a) + 0xa7);
+    arms.push_back(std::move(arm));
+  }
+  return arms;
+}
+
+}  // namespace
+
+Result<AutoMlRunResult> AutoPtSystem::Fit(const Dataset& train,
+                                          const AutoMlOptions& options,
+                                          ExecutionContext* ctx) {
+  if (train.num_rows() < 4) {
+    return Status::InvalidArgument("autopt: too few rows");
+  }
+  if (ctx->Cancelled()) {
+    return Status::DeadlineExceeded("autopt: cancelled before start");
+  }
+  EnergyMeter meter(ctx->model());
+  ScopedMeter scope(ctx, &meter);
+  ChargeScope sys_scope(ctx, Name());
+  const double start = ctx->Now();
+  const double deadline = start + options.search_budget_seconds;
+  ctx->SetDeadline(deadline);
+  const BudgetPolicy policy(budget_policy());
+
+  Rng rng(options.seed);
+  TrainTestIndices split =
+      SplitForTask(train, 1.0 - params_.holdout_fraction, &rng);
+  TrainTestData holdout = Materialize(train, split);
+
+  AutoMlRunResult result;
+  result.configured_budget_seconds = options.search_budget_seconds;
+
+  std::vector<Arm> arms =
+      SampleArms(params_.num_arms, options.seed, &rng);
+  // Highest-fidelity pipeline/score seen per arm; the ladder winner's
+  // entry becomes the artifact (or the refit seed).
+  std::vector<std::shared_ptr<Pipeline>> arm_pipeline(arms.size());
+  std::vector<double> arm_score(
+      arms.size(), -std::numeric_limits<double>::infinity());
+
+  SuccessiveHalvingOptions sh_options;
+  sh_options.num_rungs = params_.num_rungs;
+  sh_options.eta = params_.eta;
+  sh_options.min_fraction = params_.min_budget_fraction;
+
+  auto evaluate = [&](int arm_index, int rung,
+                      double budget_fraction) -> Result<double> {
+    if (ctx->Cancelled()) {
+      return Status::DeadlineExceeded("autopt: cancelled mid-search");
+    }
+    const Arm& arm = arms[static_cast<size_t>(arm_index)];
+    PipelineConfig config = arm.config;
+    const int epochs = std::max(
+        2, static_cast<int>(budget_fraction *
+                                static_cast<double>(arm.full_epochs) +
+                            0.5));
+    config.params["epochs"] = static_cast<double>(epochs);
+    config.seed = HashCombine(arm.config.seed,
+                              static_cast<uint64_t>(rung) + 1);
+    const double estimated =
+        1.2 * EstimateEvaluationSeconds(
+                  config, holdout.train.num_rows(),
+                  holdout.test.num_rows(), holdout.train.num_features(),
+                  holdout.train.num_classes(), *ctx);
+    if (!policy.MayStartEvaluation(ctx->Now(), deadline, estimated)) {
+      return Status::DeadlineExceeded("autopt: budget exhausted");
+    }
+    GREEN_ASSIGN_OR_RETURN(
+        EvaluatedPipeline evaluated,
+        TrainAndScore(config, holdout.train, holdout.test, ctx));
+    ++result.pipelines_evaluated;
+    arm_pipeline[static_cast<size_t>(arm_index)] = evaluated.pipeline;
+    arm_score[static_cast<size_t>(arm_index)] = evaluated.val_score;
+    return evaluated.val_score;
+  };
+
+  SuccessiveHalvingResult halving;
+  {
+    ChargeScope search_scope(ctx, "search");
+    halving = SuccessiveHalving(
+        static_cast<int>(arms.size()), sh_options, evaluate, [&]() {
+          return ctx->DeadlineExceeded() || ctx->Cancelled();
+        });
+  }
+  if (ctx->Cancelled()) {
+    ctx->ClearDeadline();
+    return Status::DeadlineExceeded("autopt: cancelled mid-search");
+  }
+
+  std::shared_ptr<Pipeline> best_pipeline;
+  double best_score = -std::numeric_limits<double>::infinity();
+  PipelineConfig best_config;
+  if (halving.best_arm >= 0 &&
+      arm_pipeline[static_cast<size_t>(halving.best_arm)] != nullptr) {
+    const size_t b = static_cast<size_t>(halving.best_arm);
+    best_pipeline = arm_pipeline[b];
+    best_score = arm_score[b];
+    best_config = arms[b].config;
+    best_config.params["epochs"] =
+        static_cast<double>(arms[b].full_epochs);
+  } else {
+    // Any-time guarantee: a minimal MLP when the ladder produced nothing
+    // (extreme budgets eliminate every arm up front).
+    ChargeScope phase(ctx, "fallback");
+    PipelineConfig fallback;
+    fallback.model = "mlp";
+    fallback.params = {{"hidden_units", 8.0}, {"epochs", 4.0}};
+    fallback.seed = options.seed;
+    GREEN_ASSIGN_OR_RETURN(
+        EvaluatedPipeline evaluated,
+        TrainAndScore(fallback, holdout.train, holdout.test, ctx));
+    best_pipeline = evaluated.pipeline;
+    best_score = evaluated.val_score;
+    best_config = fallback;
+    ++result.pipelines_evaluated;
+  }
+
+  // Refit the winner on ALL rows at full fidelity (Auto-PyTorch's final
+  // training pass), budget permitting.
+  if (params_.refit &&
+      policy.MayStartEvaluation(
+          ctx->Now(), deadline,
+          EstimateTrainSeconds(best_config, train.num_rows(),
+                               train.num_features(), train.num_classes(),
+                               *ctx))) {
+    ChargeScope phase(ctx, "refit");
+    GREEN_ASSIGN_OR_RETURN(Pipeline refitted, BuildPipeline(best_config));
+    Status st = refitted.Fit(train, ctx);
+    if (st.ok()) {
+      best_pipeline = std::make_shared<Pipeline>(std::move(refitted));
+    }
+  }
+
+  ctx->ClearDeadline();
+  result.artifact = FittedArtifact::Single(best_pipeline);
+  result.best_validation_score = best_score;
+  result.execution = scope.Stop();
+  result.actual_seconds = ctx->Now() - start;
+  return result;
+}
+
+}  // namespace green

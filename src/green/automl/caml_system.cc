@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "green/common/logging.h"
 #include "green/search/bayes_opt.h"
@@ -47,11 +48,11 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
 
   // Hold-out split (re-drawn per iteration under random_validation_split).
   TrainTestIndices split =
-      StratifiedSplit(working, 1.0 - params_.holdout_fraction, &rng);
+      SplitForTask(working, 1.0 - params_.holdout_fraction, &rng);
   TrainTestData holdout = Materialize(working, split);
 
   PipelineSpaceOptions space_options;
-  space_options.models = params_.models;
+  space_options.models = FilterModelsForTask(params_.models, train.task());
   space_options.include_data_preprocessors = true;
   space_options.include_feature_preprocessors = false;  // Table 1: CAML.
   PipelineSearchSpace space(space_options);
@@ -65,7 +66,7 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
   result.configured_budget_seconds = options.search_budget_seconds;
 
   std::shared_ptr<Pipeline> best_pipeline;
-  double best_score = -1.0;
+  double best_score = -std::numeric_limits<double>::infinity();
   PipelineConfig best_config;
 
   const double eval_time_cap =
@@ -114,8 +115,7 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
     }
 
     if (params_.random_validation_split) {
-      split = StratifiedSplit(working, 1.0 - params_.holdout_fraction,
-                              &rng);
+      split = SplitForTask(working, 1.0 - params_.holdout_fraction, &rng);
       holdout = Materialize(working, split);
       ctx->ChargeCpu(static_cast<double>(working.num_rows()),
                      working.FeatureBytes());
@@ -207,7 +207,9 @@ Result<AutoMlRunResult> CamlSystem::Fit(const Dataset& train,
     // Any-time guarantee: fall back to the cheapest model if nothing
     // finished (can happen at extreme budgets).
     PipelineConfig fallback;
-    fallback.model = "naive_bayes";
+    fallback.model = train.task() == TaskType::kRegression
+                         ? "decision_tree"
+                         : "naive_bayes";
     fallback.seed = options.seed;
     auto evaluated =
         TrainAndScore(fallback, holdout.train, holdout.test, ctx);

@@ -127,7 +127,7 @@ Result<ProbaMatrix> FittedArtifact::PredictProba(
   const size_t k = base_probas[0][0].size();
   const size_t aug_width =
       data.num_features() + base_.size() * k;
-  Dataset augmented(data.name(), aug_width, data.num_classes());
+  Dataset augmented = Dataset::Like(data, data.name(), aug_width);
   augmented.SetNominalSize(data.nominal_rows(), data.nominal_features());
   for (size_t j = 0; j < data.num_features(); ++j) {
     augmented.SetFeatureType(j, data.feature_type(j));
@@ -142,7 +142,7 @@ Result<ProbaMatrix> FittedArtifact::PredictProba(
     for (size_t j = 0; j < base_.size(); ++j) {
       for (size_t c = 0; c < k; ++c) row[o++] = base_probas[j][i][c];
     }
-    Status st = augmented.AppendRow(row, data.Label(i));
+    Status st = augmented.AppendRowLike(data, i, row);
     if (!st.ok()) return st;
   }
   ctx->ChargeCpu(static_cast<double>(data.num_rows() * aug_width),
@@ -173,8 +173,21 @@ Result<ProbaMatrix> FittedArtifact::PredictProba(
   return out;
 }
 
+TaskType FittedArtifact::task() const {
+  if (!base_.empty() && !base_[0].folds.empty()) {
+    const Estimator* model = base_[0].folds[0]->model();
+    if (model != nullptr) return model->task();
+  }
+  return TaskType::kBinary;
+}
+
 Result<std::vector<int>> FittedArtifact::Predict(
     const Dataset& data, ExecutionContext* ctx) const {
+  if (task() == TaskType::kRegression) {
+    return Status::FailedPrecondition(
+        "artifact: Predict (class labels) undefined for regression; use "
+        "PredictProba and read column 0");
+  }
   GREEN_ASSIGN_OR_RETURN(ProbaMatrix proba, PredictProba(data, ctx));
   std::vector<int> out;
   out.reserve(proba.size());

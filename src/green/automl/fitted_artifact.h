@@ -40,6 +40,10 @@ class FittedArtifact {
   bool empty() const { return base_.empty(); }
   bool stacked() const { return !meta_.empty(); }
 
+  /// Task of the underlying model(s), read off the first base pipeline
+  /// (all members of one artifact share a task). kBinary when empty.
+  TaskType task() const;
+
   /// Total pipelines that execute per prediction (all folds, all layers).
   size_t NumPipelines() const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "green/common/logging.h"
 #include "green/table/split.h"
@@ -75,8 +76,17 @@ Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
 
   Rng rng(options.seed);
   TrainTestIndices split =
-      StratifiedSplit(train, 1.0 - params_.holdout_fraction, &rng);
+      SplitForTask(train, 1.0 - params_.holdout_fraction, &rng);
   TrainTestData holdout = Materialize(train, split);
+
+  // Regression drops the ladder rungs whose learners cannot fit it
+  // (e.g. naive_bayes); classification keeps the full ladder verbatim.
+  std::vector<Rung> ladder;
+  for (const Rung& rung : LearnerLadder()) {
+    if (ModelSupportsTask(rung.model, train.task())) {
+      ladder.push_back(rung);
+    }
+  }
 
   AutoMlRunResult result;
   result.configured_budget_seconds = options.search_budget_seconds;
@@ -90,11 +100,10 @@ Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
   size_t ladder_index = 0;
   size_t sample_size =
       std::min(params_.initial_sample, holdout.train.num_rows());
-  std::map<std::string, double> current_params =
-      LearnerLadder()[0].start_params;
+  std::map<std::string, double> current_params = ladder[0].start_params;
 
   std::shared_ptr<Pipeline> best_pipeline;
-  double best_score = -1.0;
+  double best_score = -std::numeric_limits<double>::infinity();
   double best_cost = 0.0;
   int stall = 0;
   int iteration = 0;
@@ -106,7 +115,7 @@ Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
       ctx->ClearDeadline();
       return Status::DeadlineExceeded("flaml: cancelled mid-search");
     }
-    const Rung& rung = LearnerLadder()[ladder_index];
+    const Rung& rung = ladder[ladder_index];
     PipelineConfig config;
     config.model = rung.model;
     config.params = iteration == 0
@@ -155,9 +164,9 @@ Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
             holdout.train.num_rows(),
             static_cast<size_t>(static_cast<double>(sample_size) *
                                 params_.sample_growth));
-      } else if (ladder_index + 1 < LearnerLadder().size()) {
+      } else if (ladder_index + 1 < ladder.size()) {
         ++ladder_index;
-        current_params = LearnerLadder()[ladder_index].start_params;
+        current_params = ladder[ladder_index].start_params;
       }
     }
   }
@@ -166,7 +175,9 @@ Result<AutoMlRunResult> FlamlSystem::Fit(const Dataset& train,
   if (best_pipeline == nullptr) {
     ChargeScope phase(ctx, "fallback");
     PipelineConfig fallback;
-    fallback.model = "naive_bayes";
+    fallback.model = train.task() == TaskType::kRegression
+                         ? "decision_tree"
+                         : "naive_bayes";
     fallback.seed = options.seed;
     GREEN_ASSIGN_OR_RETURN(
         EvaluatedPipeline evaluated,

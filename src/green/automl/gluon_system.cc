@@ -59,6 +59,15 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   // weighting overhead), so short budgets overshoot — by design, this is
   // AutoGluon's documented behaviour the paper measures in Table 7.
   std::vector<PipelineConfig> portfolio = DefaultPortfolio(options.seed);
+  // Regression drops the classification-only portfolio entries; the
+  // survivors keep their original per-slot seeds so classification runs
+  // are untouched.
+  portfolio.erase(
+      std::remove_if(portfolio.begin(), portfolio.end(),
+                     [&](const PipelineConfig& config) {
+                       return !ModelSupportsTask(config.model, train.task());
+                     }),
+      portfolio.end());
   const int k_folds = params_.bagging_folds;
   std::vector<PipelineConfig> planned;
   {
@@ -109,7 +118,7 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
 
   // --- Layer 1: bagged training with out-of-fold predictions.
   const std::vector<std::vector<size_t>> folds =
-      StratifiedKFold(train, k_folds, &rng);
+      KFoldForTask(train, k_folds, &rng);
   // One fit/val view pair per fold, shared by every planned config, so
   // the transform cache keys on the same storage + row index throughout.
   std::vector<Dataset> fold_fit;
@@ -140,9 +149,13 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
       return Status::DeadlineExceeded("autogluon: cancelled mid-bagging");
     }
     FittedArtifact::Member member;
-    ProbaMatrix oof(n, std::vector<double>(k_classes,
-                                           1.0 / static_cast<double>(
-                                                     k_classes)));
+    // Out-of-fold prior for rows no fold scored: the uniform class
+    // distribution, or the target mean for regression (k_classes is 1
+    // there, so the uniform prior would be a constant 1.0).
+    const double oof_prior = train.task() == TaskType::kRegression
+                                 ? train.TargetMean()
+                                 : 1.0 / static_cast<double>(k_classes);
+    ProbaMatrix oof(n, std::vector<double>(k_classes, oof_prior));
     bool ok = true;
     for (int f = 0; f < k_folds; ++f) {
       const Dataset& fit_data = fold_fit[static_cast<size_t>(f)];
@@ -183,7 +196,7 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   // --- Layer 2: stacker models on [X | OOF probabilities].
   const size_t aug_width = train.num_features() + base_members.size() *
                                                        k_classes;
-  Dataset augmented(train.name(), aug_width, train.num_classes());
+  Dataset augmented = Dataset::Like(train, train.name(), aug_width);
   augmented.SetNominalSize(train.nominal_rows(), train.nominal_features());
   for (size_t j = 0; j < train.num_features(); ++j) {
     augmented.SetFeatureType(j, train.feature_type(j));
@@ -201,13 +214,13 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
           row[o++] = base_oof[m][i][c];
         }
       }
-      GREEN_RETURN_IF_ERROR(augmented.AppendRow(row, train.Label(i)));
+      GREEN_RETURN_IF_ERROR(augmented.AppendRowLike(train, i, row));
     }
     ctx->ChargeCpu(static_cast<double>(n * aug_width),
                    augmented.FeatureBytes());
   }
 
-  TrainTestIndices meta_split = StratifiedSplit(augmented, 0.75, &rng);
+  TrainTestIndices meta_split = SplitForTask(augmented, 0.75, &rng);
   TrainTestData meta_holdout = Materialize(augmented, meta_split);
 
   // A compact stacker set, scaled to the budget remaining after layer 1:
@@ -275,8 +288,7 @@ Result<AutoMlRunResult> GluonSystem::Fit(const Dataset& train,
   CaruanaOptions caruana_options;
   caruana_options.max_rounds = params_.caruana_rounds;
   const CaruanaResult caruana = CaruanaEnsembleSelection(
-      meta_proba, meta_holdout.test.labels(),
-      meta_holdout.test.num_classes(), caruana_options);
+      meta_proba, meta_holdout.test, caruana_options);
   {
     ChargeScope ensemble_scope(ctx, "ensemble");
     ctx->ChargeCpu(caruana.work, 0.0, /*parallel_fraction=*/0.5);

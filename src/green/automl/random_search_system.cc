@@ -1,6 +1,7 @@
 #include "green/automl/random_search_system.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "green/automl/search_model_space.h"
 #include "green/common/logging.h"
@@ -27,22 +28,23 @@ Result<AutoMlRunResult> RandomSearchSystem::Fit(
 
   Rng rng(options.seed);
   TrainTestIndices split =
-      StratifiedSplit(train, 1.0 - params_.holdout_fraction, &rng);
+      SplitForTask(train, 1.0 - params_.holdout_fraction, &rng);
   TrainTestData holdout = Materialize(train, split);
 
   // The same space CAML searches, so the only difference is the strategy.
   PipelineSpaceOptions space_options;
-  space_options.models = {"decision_tree", "random_forest",
-                          "extra_trees",   "gradient_boosting",
-                          "logistic_regression", "knn",
-                          "naive_bayes",   "mlp"};
+  space_options.models = FilterModelsForTask(
+      {"decision_tree", "random_forest", "extra_trees",
+       "gradient_boosting", "logistic_regression", "knn", "naive_bayes",
+       "mlp"},
+      train.task());
   PipelineSearchSpace space(space_options);
 
   AutoMlRunResult result;
   result.configured_budget_seconds = options.search_budget_seconds;
 
   std::shared_ptr<Pipeline> best_pipeline;
-  double best_score = -1.0;
+  double best_score = -std::numeric_limits<double>::infinity();
   const double eval_time_cap =
       params_.evaluation_fraction * options.search_budget_seconds;
 
@@ -81,7 +83,9 @@ Result<AutoMlRunResult> RandomSearchSystem::Fit(
   if (best_pipeline == nullptr) {
     ChargeScope phase(ctx, "fallback");
     PipelineConfig fallback;
-    fallback.model = "naive_bayes";
+    fallback.model = train.task() == TaskType::kRegression
+                         ? "decision_tree"
+                         : "naive_bayes";
     fallback.seed = options.seed;
     GREEN_ASSIGN_OR_RETURN(
         EvaluatedPipeline evaluated,

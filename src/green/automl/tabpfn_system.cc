@@ -11,6 +11,10 @@ Result<AutoMlRunResult> TabPfnSystem::Fit(const Dataset& train,
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("tabpfn: empty training data");
   }
+  if (train.task() == TaskType::kRegression) {
+    // The pretrained prior is a classifier; there is no regression head.
+    return Status::Unimplemented("tabpfn: regression not supported");
+  }
   if (ctx->Cancelled()) {
     return Status::DeadlineExceeded("tabpfn: cancelled before start");
   }

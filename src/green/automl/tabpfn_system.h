@@ -23,6 +23,10 @@ class TabPfnSystem : public AutoMlSystem {
   BudgetPolicyKind budget_policy() const override {
     return BudgetPolicyKind::kNoBudget;
   }
+  /// Classification only: the pretrained prior has no regression head.
+  bool SupportsTask(TaskType task) const override {
+    return IsClassification(task);
+  }
 
   Result<AutoMlRunResult> Fit(const Dataset& train,
                               const AutoMlOptions& options,

@@ -31,16 +31,17 @@ Result<AutoMlRunResult> TpotSystem::Fit(const Dataset& train,
 
   // Table 1: TPOT searches data/feature preprocessors and models.
   PipelineSpaceOptions space_options;
-  space_options.models = {"decision_tree",  "random_forest",
-                          "extra_trees",    "gradient_boosting", "adaboost",
-                          "logistic_regression", "knn",
-                          "naive_bayes"};
+  space_options.models = FilterModelsForTask(
+      {"decision_tree", "random_forest", "extra_trees",
+       "gradient_boosting", "adaboost", "logistic_regression", "knn",
+       "naive_bayes"},
+      train.task());
   space_options.include_data_preprocessors = true;
   space_options.include_feature_preprocessors = true;
   PipelineSearchSpace space(space_options);
 
   const std::vector<std::vector<size_t>> folds =
-      StratifiedKFold(train, params_.cv_folds, &rng);
+      KFoldForTask(train, params_.cv_folds, &rng);
 
   // Build each fold's fit/val views once; every pipeline evaluation
   // reuses the same view objects, so the transform cache keys on the

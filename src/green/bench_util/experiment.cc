@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "green/automl/askl_meta_cache.h"
+#include "green/automl/autopt_system.h"
 #include "green/automl/caml_system.h"
 #include "green/automl/flaml_system.h"
 #include "green/automl/gluon_system.h"
@@ -157,7 +158,7 @@ const std::vector<std::string>& AllSystemNames() {
       new std::vector<std::string>{
           "tabpfn", "caml",         "caml_tuned",   "flaml",
           "autogluon", "autogluon_refit", "autosklearn1",
-          "autosklearn2", "tpot",       "random_search"};
+          "autosklearn2", "tpot",       "random_search", "autopt"};
   return *kNames;
 }
 
@@ -209,6 +210,9 @@ Result<std::unique_ptr<AutoMlSystem>> MakeProbeSystem(
   }
   if (system_name == "random_search") {
     return std::unique_ptr<AutoMlSystem>(new RandomSearchSystem());
+  }
+  if (system_name == "autopt") {
+    return std::unique_ptr<AutoMlSystem>(new AutoPtSystem());
   }
   return Status::NotFound("unknown system: " + system_name);
 }
@@ -339,6 +343,9 @@ Result<std::unique_ptr<AutoMlSystem>> ExperimentRunner::MakeSystem(
   if (system_name == "random_search") {
     return std::unique_ptr<AutoMlSystem>(new RandomSearchSystem());
   }
+  if (system_name == "autopt") {
+    return std::unique_ptr<AutoMlSystem>(new AutoPtSystem());
+  }
   return Status::NotFound("unknown system: " + system_name);
 }
 
@@ -364,15 +371,22 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
 
   GREEN_ASSIGN_OR_RETURN(std::unique_ptr<AutoMlSystem> system,
                          MakeSystem(system_name, paper_budget));
+  if (!system->SupportsTask(dataset.task())) {
+    // Maps to a skipped cell (same taxonomy as unsupported budgets).
+    return Status::Unimplemented(
+        StrFormat("%s: task %s not supported", system_name.c_str(),
+                  TaskTypeName(dataset.task())));
+  }
 
   const uint64_t run_seed =
       HashCombine(HashCombine(config_.seed, repetition + 1),
                   HashCombine(HashString(system_name.c_str()),
                               HashString(dataset.name().c_str())));
 
-  // The paper's outer protocol: 66/34 train/test split per dataset.
+  // The paper's outer protocol: 66/34 train/test split per dataset
+  // (stratified on classification, plain on regression).
   Rng rng(run_seed);
-  TrainTestIndices split = StratifiedSplit(dataset, 0.66, &rng);
+  TrainTestIndices split = SplitForTask(dataset, 0.66, &rng);
   TrainTestData data = Materialize(dataset, split);
 
   // Precedence for the simulated core count: variant override, then the
@@ -407,6 +421,8 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   record.paper_budget_seconds = paper_budget;
   record.repetition = repetition;
   record.variant = variant_name;
+  record.task = dataset.task();
+  record.metric_name = PrimaryMetricName(dataset.task());
   record.execution_seconds = run.actual_seconds / config_.budget_scale;
   record.execution_kwh = run.execution.kwh() / config_.budget_scale;
   record.num_pipelines = run.artifact.NumPipelines();
@@ -436,8 +452,17 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
   EnergyMeter inference_meter(&energy_model_);
   inference_meter.Start(clock.Now());
   ctx.SetMeter(&inference_meter);
-  GREEN_ASSIGN_OR_RETURN(std::vector<int> preds,
-                         run.artifact.Predict(data.test, &ctx));
+  const bool regression = data.test.task() == TaskType::kRegression;
+  std::vector<int> preds;
+  ProbaMatrix test_values;
+  if (regression) {
+    // Class-label prediction is undefined for regression; score the raw
+    // predicted values (column 0) against the targets instead.
+    GREEN_ASSIGN_OR_RETURN(test_values,
+                           run.artifact.PredictProba(data.test, &ctx));
+  } else {
+    GREEN_ASSIGN_OR_RETURN(preds, run.artifact.Predict(data.test, &ctx));
+  }
   const EnergyReading inference = inference_meter.Stop(clock.Now());
   ctx.SetMeter(nullptr);
 
@@ -460,8 +485,13 @@ Result<RunRecord> ExperimentRunner::RunOne(const std::string& system_name,
       record.scopes.push_back(std::move(row));
     }
   }
-  record.test_balanced_accuracy = BalancedAccuracy(
-      data.test.labels(), preds, data.test.num_classes());
+  if (regression) {
+    record.test_metric = PrimaryMetric(data.test, test_values);  // RMSE.
+  } else {
+    record.test_balanced_accuracy = BalancedAccuracy(
+        data.test.labels(), preds, data.test.num_classes());
+    record.test_metric = record.test_balanced_accuracy;
+  }
   return record;
 }
 
@@ -475,6 +505,8 @@ RunRecord ExperimentRunner::RunCell(const std::string& system_name,
   record.dataset = dataset.name();
   record.paper_budget_seconds = paper_budget;
   record.repetition = repetition;
+  record.task = dataset.task();
+  record.metric_name = PrimaryMetricName(dataset.task());
   if (variant != nullptr) record.variant = variant->name;
 
   // The paper's protocol: systems whose minimum supported search time
@@ -715,6 +747,8 @@ Result<std::vector<RunRecord>> ExperimentRunner::Sweep(
         record.dataset = cell.dataset->name();
         record.paper_budget_seconds = cell.budget;
         record.repetition = cell.rep;
+        record.task = cell.dataset->task();
+        record.metric_name = PrimaryMetricName(cell.dataset->task());
         record.variant = cell.variant->name;
         record.outcome = OutcomeForStatus(injected);
         record.error = injected.ToString();

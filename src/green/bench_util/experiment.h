@@ -178,6 +178,16 @@ struct RunRecord {
   double paper_budget_seconds = 0.0;
   int repetition = 0;
 
+  /// Task of the dataset this cell ran on, plus the task's primary test
+  /// metric (PrimaryMetricName). Always populated in memory; serialized
+  /// ("task"/"metric"/"test_metric") only for regression cells, so every
+  /// pre-existing classification record stream stays byte-identical.
+  TaskType task = TaskType::kBinary;
+  std::string metric_name = "balanced_accuracy";
+  /// Primary test metric: equal to test_balanced_accuracy on
+  /// classification; RMSE on regression.
+  double test_metric = 0.0;
+
   double test_balanced_accuracy = 0.0;
   /// Execution stage, scaled back to paper scale.
   double execution_seconds = 0.0;
@@ -247,6 +257,12 @@ class ExperimentRunner {
 
   /// The instantiated evaluation suite (possibly limited).
   const std::vector<Dataset>& suite() const { return suite_; }
+
+  /// Replaces the evaluation suite — e.g. with synthetic regression or
+  /// k-class tasks for the mixed-task bench. Each dataset carries its own
+  /// TaskType; cells dispatch on it per dataset, so one sweep can mix
+  /// tasks freely.
+  void SetSuite(std::vector<Dataset> suite) { suite_ = std::move(suite); }
 
   /// Runs one (system, dataset, budget, repetition) attempt. `cores`
   /// overrides the config for the parallelism study; pass 0 to use the

@@ -138,6 +138,16 @@ std::string RecordToJson(const RunRecord& record) {
   // Every field below is emitted only when present, so records written
   // without the corresponding feature stay byte-identical to files
   // produced before the feature existed.
+  if (record.task == TaskType::kRegression) {
+    // Classification cells (binary AND multiclass) omit the task triple:
+    // their metric has always been balanced accuracy, and emitting it
+    // would perturb every pre-existing record stream.
+    out += StrFormat(",\"task\":\"%s\",\"metric\":\"%s\","
+                     "\"test_metric\":%.10g",
+                     TaskTypeName(record.task),
+                     Escape(record.metric_name).c_str(),
+                     record.test_metric);
+  }
   if (!record.variant.empty()) {
     out += StrFormat(",\"variant\":\"%s\"",
                      Escape(record.variant).c_str());
@@ -214,6 +224,19 @@ Result<RunRecord> RecordFromJson(const std::string& line) {
                            ExtractField(line, "attempts"));
     record.attempts =
         static_cast<int>(std::strtol(attempts.c_str(), nullptr, 10));
+  }
+  // The task triple is optional: absent means a classification cell
+  // (the default), where test_metric mirrors balanced accuracy.
+  Result<std::string> task = ExtractField(line, "task");
+  if (task.ok()) {
+    GREEN_ASSIGN_OR_RETURN(record.task, ParseTaskType(*task));
+    GREEN_ASSIGN_OR_RETURN(record.metric_name,
+                           ExtractField(line, "metric"));
+    GREEN_ASSIGN_OR_RETURN(std::string metric,
+                           ExtractField(line, "test_metric"));
+    record.test_metric = std::strtod(metric.c_str(), nullptr);
+  } else {
+    record.test_metric = record.test_balanced_accuracy;
   }
   // Variant and shard cell index are optional like the taxonomy fields.
   Result<std::string> variant = ExtractField(line, "variant");

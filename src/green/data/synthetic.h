@@ -38,7 +38,38 @@ struct SyntheticSpec {
 
 /// Materializes the task. Returns InvalidArgument for degenerate specs
 /// (zero rows/features/classes, or fewer rows than classes).
+///
+/// `num_classes > 2` yields a genuine k-class Gaussian mixture; the
+/// round-robin base assignment guarantees every class is populated.
 Result<Dataset> GenerateSynthetic(const SyntheticSpec& spec);
+
+/// Specification for one synthetic regression task.
+///
+/// Targets are a sparse linear signal over the informative subspace plus a
+/// mild quadratic term and Gaussian noise, so linear learners capture most
+/// of the variance but tree/MLP learners can still separate themselves —
+/// mirroring what the classification generator does for search quality.
+struct SyntheticRegressionSpec {
+  std::string name;
+  size_t num_rows = 500;
+  size_t num_features = 20;
+  size_t num_informative = 10;    ///< Clamped to num_features.
+  size_t num_categorical = 0;     ///< Clamped to num_features.
+  double noise = 0.5;             ///< Target-noise stddev vs unit signal.
+  double target_scale = 10.0;     ///< Spread of the target distribution.
+  double target_shift = 50.0;     ///< Mean offset of the targets.
+  double missing_fraction = 0.0;
+  uint64_t seed = 1;
+  /// Nominal (real-task) size recorded on the dataset for cost
+  /// extrapolation and meta-features; 0 means "same as instantiated".
+  int64_t nominal_rows = 0;
+  int64_t nominal_features = 0;
+};
+
+/// Materializes the regression task. Returns InvalidArgument for
+/// degenerate specs (zero rows or features). Deterministic in `seed`.
+Result<Dataset> GenerateSyntheticRegression(
+    const SyntheticRegressionSpec& spec);
 
 }  // namespace green
 

@@ -6,6 +6,10 @@ namespace green {
 
 Result<std::vector<int>> Estimator::Predict(const Dataset& data,
                                             ExecutionContext* ctx) const {
+  if (task() == TaskType::kRegression) {
+    return Status::FailedPrecondition(
+        Name() + ": regression estimator has no class predictions");
+  }
   GREEN_ASSIGN_OR_RETURN(ProbaMatrix proba, PredictProba(data, ctx));
   std::vector<int> out;
   out.reserve(proba.size());

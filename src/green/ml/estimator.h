@@ -34,6 +34,8 @@ class Estimator {
                                            ExecutionContext* ctx) const = 0;
 
   /// Hard predictions (argmax of PredictProba by default).
+  /// FailedPrecondition for regression-fitted estimators, which have no
+  /// class labels to predict.
   virtual Result<std::vector<int>> Predict(const Dataset& data,
                                            ExecutionContext* ctx) const;
 
@@ -51,16 +53,26 @@ class Estimator {
 
   bool fitted() const { return fitted_; }
   int num_classes() const { return num_classes_; }
+  /// Task the estimator was fitted for; regression models report k=1
+  /// "probability" rows holding the predicted value.
+  TaskType task() const { return task_; }
 
  protected:
+  /// Classification-only convenience: infers binary/multiclass from the
+  /// class count. Regression-capable models use the two-arg overload.
   void MarkFitted(int num_classes) {
+    MarkFitted(num_classes, TaskTypeForClasses(num_classes));
+  }
+  void MarkFitted(int num_classes, TaskType task) {
     fitted_ = true;
     num_classes_ = num_classes;
+    task_ = task;
   }
 
  private:
   bool fitted_ = false;
   int num_classes_ = 0;
+  TaskType task_ = TaskType::kBinary;
 };
 
 /// Base interface for feature transformers (preprocessors).

@@ -17,7 +17,11 @@ double Accuracy(const std::vector<int>& truth,
 double BalancedAccuracy(const std::vector<int>& truth,
                         const std::vector<int>& predicted, int num_classes);
 
-/// Multi-class cross-entropy with probability clipping.
+/// Multi-class cross-entropy with probability clipping: probabilities are
+/// clamped into [1e-15, 1 - 1e-15] before the log, and a truth class
+/// beyond the probability row's width (e.g. a class absent from the
+/// training data) scores as the clamp floor instead of reading out of
+/// bounds.
 double LogLoss(const std::vector<int>& truth, const ProbaMatrix& proba);
 
 /// Macro-averaged F1.
@@ -28,6 +32,42 @@ double MacroF1(const std::vector<int>& truth,
 std::vector<std::vector<int>> ConfusionMatrix(
     const std::vector<int>& truth, const std::vector<int>& predicted,
     int num_classes);
+
+// --- regression metrics ---
+
+/// Root mean squared error.
+double Rmse(const std::vector<double>& truth,
+            const std::vector<double>& predicted);
+
+/// Mean absolute error.
+double Mae(const std::vector<double>& truth,
+           const std::vector<double>& predicted);
+
+/// Coefficient of determination; 0 when truth has zero variance and the
+/// prediction is not exact.
+double R2(const std::vector<double>& truth,
+          const std::vector<double>& predicted);
+
+// --- task dispatch ---
+
+/// Name of the task's primary quality metric: "balanced_accuracy" for
+/// classification (the paper's choice), "rmse" for regression.
+const char* PrimaryMetricName(TaskType task);
+
+/// The primary metric of `proba` against `truth`'s labels or targets:
+/// balanced accuracy of the argmax for classification, RMSE of column 0
+/// for regression (regression predictions are n-by-1 ProbaMatrix rows).
+double PrimaryMetric(const Dataset& truth, const ProbaMatrix& proba);
+
+/// Higher-is-better version of PrimaryMetric: balanced accuracy as-is,
+/// negated RMSE for regression. Every search strategy (Caruana, BO,
+/// NSGA-II, successive halving, median pruning) maximizes this score, so
+/// regression losses need no special-casing downstream.
+double PrimaryScore(const Dataset& truth, const ProbaMatrix& proba);
+
+/// Converts a higher-is-better score back to the reported metric value
+/// (identity for classification, negation for regression).
+double MetricFromScore(TaskType task, double score);
 
 }  // namespace green
 

@@ -164,6 +164,24 @@ const std::vector<std::string>& KnownModels() {
   return *kModels;
 }
 
+bool ModelSupportsTask(const std::string& model, TaskType task) {
+  if (IsClassification(task)) return true;
+  return model == "decision_tree" || model == "random_forest" ||
+         model == "extra_trees" || model == "gradient_boosting" ||
+         model == "logistic_regression" || model == "knn" ||
+         model == "mlp";
+}
+
+std::vector<std::string> FilterModelsForTask(
+    const std::vector<std::string>& models, TaskType task) {
+  std::vector<std::string> out;
+  out.reserve(models.size());
+  for (const std::string& m : models) {
+    if (ModelSupportsTask(m, task)) out.push_back(m);
+  }
+  return out;
+}
+
 Result<Pipeline> BuildPipeline(const PipelineConfig& config) {
   Pipeline pipeline;
   if (config.impute) {

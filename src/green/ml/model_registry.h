@@ -41,6 +41,18 @@ struct PipelineConfig {
 /// Model names known to the registry.
 const std::vector<std::string>& KnownModels();
 
+/// Whether the named model family can fit the given task. Every family
+/// handles classification; regression is limited to the tree, linear,
+/// neighbor, boosting, and MLP learners (the rest return Unimplemented
+/// from Fit, which the harness maps to a skipped cell).
+bool ModelSupportsTask(const std::string& model, TaskType task);
+
+/// The subset of `models` admissible for `task`, order preserved. Search
+/// spaces are filtered through this so systems never propose a
+/// (model, task) pair that is known to be rejected.
+std::vector<std::string> FilterModelsForTask(
+    const std::vector<std::string>& models, TaskType task);
+
 /// Builds an unfitted pipeline from a config. Unknown model names or
 /// out-of-domain hyperparameters yield InvalidArgument.
 Result<Pipeline> BuildPipeline(const PipelineConfig& config);

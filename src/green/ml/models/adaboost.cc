@@ -12,6 +12,9 @@ Status AdaBoost::Fit(const Dataset& train, ExecutionContext* ctx) {
   const size_t n = train.num_rows();
   const int k = train.num_classes();
   if (n == 0) return Status::InvalidArgument("adaboost: empty data");
+  if (train.task() == TaskType::kRegression) {
+    return Status::Unimplemented("adaboost: regression not supported");
+  }
   if (k < 2) return Status::InvalidArgument("adaboost: need >= 2 classes");
   ChargeScope scope(ctx, Name());
   stages_.clear();

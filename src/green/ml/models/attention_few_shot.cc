@@ -17,6 +17,9 @@ Status AttentionFewShot::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("few_shot: empty training data");
   }
+  if (train.task() == TaskType::kRegression) {
+    return Status::Unimplemented("few_shot: regression not supported");
+  }
   ChargeScope scope(ctx, Name());
   class_limit_exceeded_ = train.num_classes() > params_.max_classes;
 

@@ -66,7 +66,11 @@ Status DecisionTree::FitCounted(const Dataset& train,
   }
   nodes_.clear();
   std::vector<size_t> rows = row_indices;
-  BuildNode(train, &rows, 0, rng, flops);
+  if (train.task() == TaskType::kRegression) {
+    BuildRegNode(train, &rows, 0, rng, flops);
+  } else {
+    BuildNode(train, &rows, 0, rng, flops);
+  }
 
   // Mean leaf depth drives the per-row inference cost estimate.
   double total_depth = 0.0;
@@ -86,8 +90,157 @@ Status DecisionTree::FitCounted(const Dataset& train,
   }
   mean_leaf_depth_ = leaves > 0 ? total_depth / static_cast<double>(leaves)
                                 : 0.0;
-  MarkFitted(train.num_classes());
+  MarkFitted(train.num_classes(), train.task());
   return Status::Ok();
+}
+
+int DecisionTree::BuildRegNode(const Dataset& train,
+                               std::vector<size_t>* rows, int depth,
+                               Rng* rng, double* flops) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  const double n = static_cast<double>(rows->size());
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (size_t r : *rows) {
+    const double y = train.Target(r);
+    sum += y;
+    sumsq += y * y;
+  }
+  *flops += 2.0 * n;
+  const double mean = sum / n;
+  const double node_sse = sumsq - sum * sum / n;
+
+  const bool stop = depth >= params_.max_depth ||
+                    rows->size() <
+                        2 * static_cast<size_t>(params_.min_samples_leaf) ||
+                    node_sse <= 1e-12;
+  if (stop) {
+    nodes_[static_cast<size_t>(node_index)].proba = {mean};
+    return node_index;
+  }
+
+  // Candidate feature subset (same policy as the classification path).
+  const size_t d = train.num_features();
+  std::vector<size_t> features(d);
+  std::iota(features.begin(), features.end(), 0);
+  if (params_.max_features_fraction > 0.0 &&
+      params_.max_features_fraction < 1.0) {
+    const size_t d_used = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(params_.max_features_fraction *
+                                         static_cast<double>(d))));
+    rng->Shuffle(&features);
+    features.resize(d_used);
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_sse = node_sse;  // Must strictly improve.
+
+  std::vector<std::pair<double, size_t>> sorted;
+  sorted.reserve(rows->size());
+  for (size_t f : features) {
+    if (params_.random_thresholds) {
+      // Extra-Trees: one uniformly random threshold per feature.
+      double lo = train.At((*rows)[0], f);
+      double hi = lo;
+      for (size_t r : *rows) {
+        const double v = train.At(r, f);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      *flops += n;
+      if (hi - lo <= 1e-12) continue;
+      const double thr = rng->NextUniform(lo, hi);
+      double left_sum = 0.0;
+      double left_sumsq = 0.0;
+      double n_left = 0.0;
+      for (size_t r : *rows) {
+        if (train.At(r, f) <= thr) {
+          const double y = train.Target(r);
+          left_sum += y;
+          left_sumsq += y * y;
+          n_left += 1.0;
+        }
+      }
+      *flops += 2.0 * n;
+      const double n_right = n - n_left;
+      if (n_left < params_.min_samples_leaf ||
+          n_right < params_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sumsq = sumsq - left_sumsq;
+      const double sse = (left_sumsq - left_sum * left_sum / n_left) +
+                         (right_sumsq - right_sum * right_sum / n_right);
+      if (sse < best_sse - 1e-12) {
+        best_sse = sse;
+        best_feature = static_cast<int>(f);
+        best_threshold = thr;
+      }
+      continue;
+    }
+
+    // Exact search: sort node rows by feature value, sweep split points
+    // keeping running sums so each candidate is O(1).
+    sorted.clear();
+    for (size_t r : *rows) sorted.emplace_back(train.At(r, f), r);
+    std::sort(sorted.begin(), sorted.end());
+    *flops += n * std::log2(std::max(2.0, n));
+
+    double left_sum = 0.0;
+    double left_sumsq = 0.0;
+    double n_left = 0.0;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const double y = train.Target(sorted[i].second);
+      left_sum += y;
+      left_sumsq += y * y;
+      n_left += 1.0;
+      if (sorted[i + 1].first - sorted[i].first <= 1e-12) continue;
+      const double n_right = n - n_left;
+      if (n_left < params_.min_samples_leaf ||
+          n_right < params_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double right_sumsq = sumsq - left_sumsq;
+      const double sse = (left_sumsq - left_sum * left_sum / n_left) +
+                         (right_sumsq - right_sum * right_sum / n_right);
+      if (sse < best_sse - 1e-12) {
+        best_sse = sse;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+    *flops += 4.0 * n;
+  }
+
+  if (best_feature < 0) {
+    nodes_[static_cast<size_t>(node_index)].proba = {mean};
+    return node_index;
+  }
+
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+  for (size_t r : *rows) {
+    if (train.At(r, static_cast<size_t>(best_feature)) <= best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  rows->clear();
+  rows->shrink_to_fit();
+
+  const int left = BuildRegNode(train, &left_rows, depth + 1, rng, flops);
+  const int right = BuildRegNode(train, &right_rows, depth + 1, rng, flops);
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
 }
 
 int DecisionTree::BuildNode(const Dataset& train, std::vector<size_t>* rows,

@@ -8,7 +8,10 @@
 
 namespace green {
 
-/// CART-style classification tree with Gini impurity.
+/// CART-style tree: Gini impurity for classification, variance reduction
+/// with target-mean leaves for regression (the task is taken from the
+/// training dataset; regression leaves store a single-element proba row
+/// holding the leaf mean).
 ///
 /// The paper's tuned CAML repeatedly selects decision trees because "they
 /// can be both simple (shallow and narrow) and complex (deep and wide)" —
@@ -62,6 +65,8 @@ class DecisionTree : public Estimator {
 
   int BuildNode(const Dataset& train, std::vector<size_t>* rows, int depth,
                 Rng* rng, double* flops);
+  int BuildRegNode(const Dataset& train, std::vector<size_t>* rows,
+                   int depth, Rng* rng, double* flops);
   const std::vector<double>& RowProba(const Dataset& data, size_t row,
                                       double* flops) const;
 

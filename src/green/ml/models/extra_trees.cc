@@ -40,7 +40,7 @@ Status ExtraTrees::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (ctx->Interrupted()) {
     return Status::DeadlineExceeded("extra_trees: interrupted mid-fit");
   }
-  MarkFitted(train.num_classes());
+  MarkFitted(train.num_classes(), train.task());
   return Status::Ok();
 }
 

@@ -21,14 +21,20 @@ Status GradientBoosting::Fit(const Dataset& train, ExecutionContext* ctx) {
   double flops = 0.0;
   Rng rng(params_.seed);
 
-  // Class log-priors as the base score.
-  base_score_.assign(static_cast<size_t>(k), 0.0);
-  const std::vector<int> counts = train.ClassCounts();
-  for (int c = 0; c < k; ++c) {
-    const double p = std::max(
-        1e-6, static_cast<double>(counts[static_cast<size_t>(c)]) /
-                  static_cast<double>(n));
-    base_score_[static_cast<size_t>(c)] = std::log(p);
+  const bool regression = train.task() == TaskType::kRegression;
+  if (regression) {
+    // Regression base score: the target mean (squared-loss optimum).
+    base_score_.assign(1, train.TargetMean());
+  } else {
+    // Class log-priors as the base score.
+    base_score_.assign(static_cast<size_t>(k), 0.0);
+    const std::vector<int> counts = train.ClassCounts();
+    for (int c = 0; c < k; ++c) {
+      const double p = std::max(
+          1e-6, static_cast<double>(counts[static_cast<size_t>(c)]) /
+                    static_cast<double>(n));
+      base_score_[static_cast<size_t>(c)] = std::log(p);
+    }
   }
 
   // Raw scores per row per class.
@@ -58,12 +64,19 @@ Status GradientBoosting::Fit(const Dataset& train, ExecutionContext* ctx) {
     std::vector<RegTree> round_trees;
     round_trees.reserve(static_cast<size_t>(k));
     for (int c = 0; c < k; ++c) {
-      // Negative gradient of softmax cross-entropy: 1{y=c} - p_c.
-      for (size_t r = 0; r < n; ++r) {
-        proba = score[r];
-        SoftmaxInPlace(&proba);
-        target[r] = (train.Label(r) == c ? 1.0 : 0.0) -
-                    proba[static_cast<size_t>(c)];
+      if (regression) {
+        // Negative gradient of squared loss: the residual y - score.
+        for (size_t r = 0; r < n; ++r) {
+          target[r] = train.Target(r) - score[r][0];
+        }
+      } else {
+        // Negative gradient of softmax cross-entropy: 1{y=c} - p_c.
+        for (size_t r = 0; r < n; ++r) {
+          proba = score[r];
+          SoftmaxInPlace(&proba);
+          target[r] = (train.Label(r) == c ? 1.0 : 0.0) -
+                      proba[static_cast<size_t>(c)];
+        }
       }
       flops += static_cast<double>(n) * static_cast<double>(k);
       RegTree tree = FitRegTree(train, rows, target, &flops);
@@ -83,7 +96,7 @@ Status GradientBoosting::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (ctx->Interrupted()) {
     return Status::DeadlineExceeded("gboost: interrupted mid-fit");
   }
-  MarkFitted(k);
+  MarkFitted(k, train.task());
   return Status::Ok();
 }
 
@@ -209,7 +222,7 @@ Result<ProbaMatrix> GradientBoosting::PredictProba(
                            &flops);
       }
     }
-    SoftmaxInPlace(&score);
+    if (task() != TaskType::kRegression) SoftmaxInPlace(&score);
     flops += static_cast<double>(k);
     out[r] = std::move(score);
   }

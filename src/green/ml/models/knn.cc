@@ -14,7 +14,7 @@ Status Knn::Fit(const Dataset& train, ExecutionContext* ctx) {
   // Training is a copy: charge the bytes, not compute.
   ctx->ChargeCpu(static_cast<double>(train.num_rows()),
                  train.FeatureBytes());
-  MarkFitted(train.num_classes());
+  MarkFitted(train.num_classes(), train.task());
   return Status::Ok();
 }
 
@@ -50,6 +50,20 @@ Result<ProbaMatrix> Knn::PredictProba(const Dataset& data,
     flops += static_cast<double>(n_train) *
              std::log2(std::max<double>(2.0, static_cast<double>(k)));
 
+    if (task() == TaskType::kRegression) {
+      // Regression: (distance-weighted) mean of the neighbor targets.
+      double weight_sum = 0.0;
+      double value_sum = 0.0;
+      for (size_t i = 0; i < k; ++i) {
+        const double w = params_.distance_weighted
+                             ? 1.0 / (1.0 + std::sqrt(dist[i].first))
+                             : 1.0;
+        value_sum += w * train_.Target(dist[i].second);
+        weight_sum += w;
+      }
+      out[q] = {value_sum / weight_sum};
+      continue;
+    }
     std::vector<double> votes(static_cast<size_t>(k_classes), 0.0);
     for (size_t i = 0; i < k; ++i) {
       const double w = params_.distance_weighted

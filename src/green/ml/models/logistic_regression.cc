@@ -16,9 +16,23 @@ Status LogisticRegression::Fit(const Dataset& train,
   if (n == 0) return Status::InvalidArgument("logreg: empty training data");
 
   ChargeScope scope(ctx, Name());
+  const bool regression = train.task() == TaskType::kRegression;
   num_features_ = d;
   weights_.assign(static_cast<size_t>(k) * (d + 1), 0.0);
   Rng rng(params_.seed);
+
+  if (regression) {
+    // Standardize targets so the shared learning-rate schedule works on
+    // arbitrary target scales; predictions are unscaled on the way out.
+    target_mean_ = train.TargetMean();
+    double var = 0.0;
+    for (double y : train.targets()) {
+      const double dy = y - target_mean_;
+      var += dy * dy;
+    }
+    var /= static_cast<double>(n);
+    target_scale_ = var > 1e-24 ? std::sqrt(var) : 1.0;
+  }
 
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -45,10 +59,14 @@ Status LogisticRegression::Fit(const Dataset& train,
           for (size_t j = 0; j < d; ++j) z += w[j] * x[j];
           logits[static_cast<size_t>(c)] = z;
         }
-        SoftmaxInPlace(&logits);
+        if (!regression) SoftmaxInPlace(&logits);
         for (int c = 0; c < k; ++c) {
-          const double err = logits[static_cast<size_t>(c)] -
-                             (train.Label(r) == c ? 1.0 : 0.0);
+          const double err =
+              regression
+                  ? logits[0] -
+                        (train.Target(r) - target_mean_) / target_scale_
+                  : logits[static_cast<size_t>(c)] -
+                        (train.Label(r) == c ? 1.0 : 0.0);
           double* w = &weights_[static_cast<size_t>(c) * (d + 1)];
           for (size_t j = 0; j < d; ++j) {
             w[j] -= lr * (err * x[j] + params_.l2 * w[j]);
@@ -64,7 +82,7 @@ Status LogisticRegression::Fit(const Dataset& train,
   if (ctx->Interrupted()) {
     return Status::DeadlineExceeded("logreg: interrupted mid-fit");
   }
-  MarkFitted(k);
+  MarkFitted(k, train.task());
   return Status::Ok();
 }
 
@@ -88,7 +106,11 @@ Result<ProbaMatrix> LogisticRegression::PredictProba(
       for (size_t j = 0; j < d; ++j) z += w[j] * x[j];
       logits[static_cast<size_t>(c)] = z;
     }
-    SoftmaxInPlace(&logits);
+    if (task() == TaskType::kRegression) {
+      logits[0] = target_mean_ + target_scale_ * logits[0];
+    } else {
+      SoftmaxInPlace(&logits);
+    }
     out[r] = std::move(logits);
     flops += 2.0 * static_cast<double>(k) * static_cast<double>(d + 1);
   }

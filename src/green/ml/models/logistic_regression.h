@@ -10,7 +10,9 @@ namespace green {
 /// Multinomial logistic regression trained with mini-batch SGD and L2
 /// regularization. Cheap to train and extremely cheap at inference
 /// (one dense d x k product per row) — the "simple linear model" end of
-/// the energy/quality spectrum.
+/// the energy/quality spectrum. On regression tasks it degrades to a
+/// linear model with squared loss on standardized targets (k = 1, no
+/// softmax).
 struct LogisticRegressionParams {
   int epochs = 30;
   double learning_rate = 0.1;
@@ -41,6 +43,9 @@ class LogisticRegression : public Estimator {
   size_t num_features_ = 0;
   /// Row-major (k x (d+1)); last column is the bias.
   std::vector<double> weights_;
+  /// Target standardization (regression mode only).
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
 };
 
 }  // namespace green

@@ -1,5 +1,6 @@
 #include "green/ml/models/mlp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -35,8 +36,21 @@ Status Mlp::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (n == 0) return Status::InvalidArgument("mlp: empty training data");
 
   ChargeScope scope(ctx, Name());
+  const bool regression = train.task() == TaskType::kRegression;
   num_features_ = d;
   Rng rng(params_.seed);
+  if (regression) {
+    // Standardized targets keep the shared learning-rate schedule stable
+    // across target scales; predictions are unscaled at the output.
+    target_mean_ = train.TargetMean();
+    double var = 0.0;
+    for (double y : train.targets()) {
+      const double dy = y - target_mean_;
+      var += dy * dy;
+    }
+    var /= static_cast<double>(n);
+    target_scale_ = var > 1e-24 ? std::sqrt(var) : 1.0;
+  }
   w1_.resize(h * (d + 1));
   w2_.resize(static_cast<size_t>(k) * (h + 1));
   const double scale1 = std::sqrt(2.0 / static_cast<double>(d + 1));
@@ -62,14 +76,31 @@ Status Mlp::Fit(const Dataset& train, ExecutionContext* ctx) {
       const size_t r = order[idx];
       const double* x = train.RowPtr(r);
       Forward(x, &hidden, &logits);
-      SoftmaxInPlace(&logits);
+      if (!regression) SoftmaxInPlace(&logits);
 
-      // Output-layer gradient and hidden backprop.
+      // Output-layer gradient and hidden backprop. (Squared loss on the
+      // single linear output and softmax cross-entropy share the same
+      // err-times-activation gradient form.)
       std::fill(dhidden.begin(), dhidden.end(), 0.0);
       for (int c = 0; c < k; ++c) {
         const size_t cc = static_cast<size_t>(c);
-        const double err =
-            logits[cc] - (train.Label(r) == c ? 1.0 : 0.0);
+        // Softmax cross-entropy bounds |err| by 1; squared loss does
+        // not, so the regression step is Huber-clipped and normalized by
+        // the hidden-activation energy (NLMS) — per-sample SGD then
+        // stays stable at every learning rate the searchers propose.
+        double err =
+            regression
+                ? logits[0] -
+                      (train.Target(r) - target_mean_) / target_scale_
+                : logits[cc] - (train.Label(r) == c ? 1.0 : 0.0);
+        if (regression) {
+          err = std::max(-3.0, std::min(3.0, err));
+          double hidden_energy = 0.0;
+          for (size_t i = 0; i < h; ++i) {
+            hidden_energy += hidden[i] * hidden[i];
+          }
+          err /= 1.0 + hidden_energy;
+        }
         double* w = &w2_[cc * (h + 1)];
         for (size_t i = 0; i < h; ++i) {
           dhidden[i] += err * w[i];
@@ -94,7 +125,7 @@ Status Mlp::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (ctx->Interrupted()) {
     return Status::DeadlineExceeded("mlp: interrupted mid-fit");
   }
-  MarkFitted(k);
+  MarkFitted(k, train.task());
   return Status::Ok();
 }
 
@@ -113,7 +144,11 @@ Result<ProbaMatrix> Mlp::PredictProba(const Dataset& data,
   for (size_t r = 0; r < data.num_rows(); ++r) {
     std::vector<double> logits(static_cast<size_t>(k));
     Forward(data.RowPtr(r), &hidden, &logits);
-    SoftmaxInPlace(&logits);
+    if (task() == TaskType::kRegression) {
+      logits[0] = target_mean_ + target_scale_ * logits[0];
+    } else {
+      SoftmaxInPlace(&logits);
+    }
     out[r] = std::move(logits);
     flops += 2.0 * (static_cast<double>(h) *
                         static_cast<double>(num_features_ + 1) +

@@ -10,6 +10,8 @@ namespace green {
 /// Single-hidden-layer multilayer perceptron (ReLU + softmax) trained
 /// with SGD. The expensive-to-train, moderately-expensive-to-serve model
 /// family; the paper's tuned CAML only admits MLPs at the 5-minute budget.
+/// On regression tasks the output layer is a single linear unit trained
+/// with squared loss on standardized targets.
 struct MlpParams {
   int hidden_units = 32;
   int epochs = 40;
@@ -46,6 +48,9 @@ class Mlp : public Estimator {
   /// w1: (hidden x (d+1)), w2: (k x (hidden+1)); last columns are biases.
   std::vector<double> w1_;
   std::vector<double> w2_;
+  /// Target standardization (regression mode only).
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
 };
 
 }  // namespace green

@@ -12,6 +12,9 @@ Status GaussianNaiveBayes::Fit(const Dataset& train,
   const size_t d = train.num_features();
   const int k = train.num_classes();
   if (n == 0) return Status::InvalidArgument("nb: empty training data");
+  if (train.task() == TaskType::kRegression) {
+    return Status::Unimplemented("naive_bayes: regression not supported");
+  }
 
   ChargeScope scope(ctx, Name());
   num_features_ = d;

@@ -44,7 +44,7 @@ Status RandomForest::Fit(const Dataset& train, ExecutionContext* ctx) {
   if (ctx->Interrupted()) {
     return Status::DeadlineExceeded("random_forest: interrupted mid-fit");
   }
-  MarkFitted(train.num_classes());
+  MarkFitted(train.num_classes(), train.task());
   return Status::Ok();
 }
 

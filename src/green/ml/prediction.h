@@ -1,0 +1,62 @@
+#ifndef GREEN_ML_PREDICTION_H_
+#define GREEN_ML_PREDICTION_H_
+
+#include <utility>
+#include <vector>
+
+#include "green/ml/estimator.h"
+#include "green/table/task_type.h"
+
+namespace green {
+
+/// Task-tagged prediction batch unifying classification probabilities and
+/// regression values behind one type. Internally everything is a
+/// ProbaMatrix — regression predictions are n-by-1 rows whose single
+/// column holds the predicted value — so blending, stacking, and caching
+/// code paths stay shape-generic; this struct is the typed boundary that
+/// callers consume.
+struct Prediction {
+  TaskType task = TaskType::kBinary;
+  ProbaMatrix proba;
+
+  static Prediction Classification(TaskType task, ProbaMatrix proba) {
+    return Prediction{task, std::move(proba)};
+  }
+
+  static Prediction Regression(const std::vector<double>& values) {
+    Prediction out;
+    out.task = TaskType::kRegression;
+    out.proba.reserve(values.size());
+    for (double v : values) out.proba.push_back({v});
+    return out;
+  }
+
+  /// Regression values (column 0). Meaningful only for kRegression.
+  std::vector<double> Values() const {
+    std::vector<double> out;
+    out.reserve(proba.size());
+    for (const auto& row : proba) {
+      out.push_back(row.empty() ? 0.0 : row[0]);
+    }
+    return out;
+  }
+
+  /// Hard class labels (per-row argmax). Meaningful only for
+  /// classification tasks.
+  std::vector<int> Labels() const {
+    std::vector<int> out;
+    out.reserve(proba.size());
+    for (const auto& row : proba) {
+      size_t best = 0;
+      for (size_t c = 1; c < row.size(); ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      out.push_back(static_cast<int>(best));
+    }
+    return out;
+  }
+};
+
+}  // namespace green
+
+#endif  // GREEN_ML_PREDICTION_H_

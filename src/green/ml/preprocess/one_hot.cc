@@ -63,7 +63,7 @@ Result<Dataset> OneHotEncoder::Transform(const Dataset& data,
     }
   }
 
-  Dataset out(data.name(), output_width_, data.num_classes());
+  Dataset out = Dataset::Like(data, data.name(), output_width_);
   out.SetNominalSize(data.nominal_rows(), data.nominal_features());
   out.Reserve(data.num_rows());
 
@@ -104,7 +104,7 @@ Result<Dataset> OneHotEncoder::Transform(const Dataset& data,
         o += static_cast<size_t>(cardinality_[j]);
       }
     }
-    GREEN_RETURN_IF_ERROR(out.AppendRow(row, data.Label(r)));
+    GREEN_RETURN_IF_ERROR(out.AppendRowLike(data, r, row));
   }
   ctx->ChargeCpu(static_cast<double>(data.num_rows() * output_width_),
                  out.FeatureBytes());

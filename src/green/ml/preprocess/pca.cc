@@ -97,7 +97,7 @@ Result<Dataset> Pca::Transform(const Dataset& data,
     return Status::InvalidArgument("pca: feature count mismatch");
   }
   ChargeScope scope(ctx, Name());
-  Dataset out(data.name(), components_fitted_, data.num_classes());
+  Dataset out = Dataset::Like(data, data.name(), components_fitted_);
   out.SetNominalSize(data.nominal_rows(), data.nominal_features());
   out.Reserve(data.num_rows());
   std::vector<double> row(components_fitted_);
@@ -111,7 +111,7 @@ Result<Dataset> Pca::Transform(const Dataset& data,
       }
       row[c] = s;
     }
-    GREEN_RETURN_IF_ERROR(out.AppendRow(row, data.Label(r)));
+    GREEN_RETURN_IF_ERROR(out.AppendRowLike(data, r, row));
   }
   ctx->ChargeCpu(2.0 * static_cast<double>(data.num_rows() *
                                            input_width_ *

@@ -1,6 +1,8 @@
 #include "green/search/caruana.h"
 
 #include <algorithm>
+#include <functional>
+#include <limits>
 
 #include "green/common/logging.h"
 #include "green/common/mathutil.h"
@@ -19,16 +21,17 @@ double ScoreBlend(const std::vector<std::vector<double>>& blended,
   return BalancedAccuracy(val_labels, preds, num_classes);
 }
 
-}  // namespace
-
-CaruanaResult CaruanaEnsembleSelection(
-    const std::vector<ProbaMatrix>& library_proba,
-    const std::vector<int>& val_labels, int num_classes,
-    const CaruanaOptions& options) {
+/// The greedy loop itself, parameterized over a higher-is-better blend
+/// scorer so classification (balanced accuracy) and regression (-RMSE,
+/// which is negative — hence the -inf initializers) share one
+/// implementation.
+CaruanaResult GreedySelect(
+    const std::vector<ProbaMatrix>& library_proba, size_t n,
+    int num_classes, const CaruanaOptions& options,
+    const std::function<double(const ProbaMatrix&)>& score_blend) {
   CaruanaResult result;
   const size_t m = library_proba.size();
-  if (m == 0 || val_labels.empty()) return result;
-  const size_t n = val_labels.size();
+  if (m == 0 || n == 0) return result;
   for (const auto& proba : library_proba) {
     GREEN_CHECK(proba.size() == n);
   }
@@ -42,11 +45,11 @@ CaruanaResult CaruanaEnsembleSelection(
                   std::vector<double>(static_cast<size_t>(num_classes),
                                       0.0));
   ProbaMatrix trial = sum;
-  double best_score = -1.0;
+  double best_score = -std::numeric_limits<double>::infinity();
 
   for (int round = 0; round < options.max_rounds; ++round) {
     int best_member = -1;
-    double best_round_score = -1.0;
+    double best_round_score = -std::numeric_limits<double>::infinity();
     for (size_t j = 0; j < m; ++j) {
       // trial = (sum + library[j]) / (total + 1): evaluate incremental add.
       for (size_t i = 0; i < n; ++i) {
@@ -55,7 +58,7 @@ CaruanaResult CaruanaEnsembleSelection(
                         static_cast<double>(total + 1);
         }
       }
-      const double score = ScoreBlend(trial, val_labels, num_classes);
+      const double score = score_blend(trial);
       result.work += static_cast<double>(n) *
                      static_cast<double>(num_classes) * 2.0;
       if (score > best_round_score) {
@@ -82,8 +85,7 @@ CaruanaResult CaruanaEnsembleSelection(
   if (total == 0) {
     // Degenerate: fall back to the single best member.
     result.weights[0] = 1.0;
-    result.validation_score =
-        ScoreBlend(library_proba[0], val_labels, num_classes);
+    result.validation_score = score_blend(library_proba[0]);
     return result;
   }
   for (size_t j = 0; j < m; ++j) {
@@ -92,6 +94,29 @@ CaruanaResult CaruanaEnsembleSelection(
   }
   result.validation_score = best_score;
   return result;
+}
+
+}  // namespace
+
+CaruanaResult CaruanaEnsembleSelection(
+    const std::vector<ProbaMatrix>& library_proba,
+    const std::vector<int>& val_labels, int num_classes,
+    const CaruanaOptions& options) {
+  return GreedySelect(
+      library_proba, val_labels.size(), num_classes, options,
+      [&](const ProbaMatrix& blended) {
+        return ScoreBlend(blended, val_labels, num_classes);
+      });
+}
+
+CaruanaResult CaruanaEnsembleSelection(
+    const std::vector<ProbaMatrix>& library_proba, const Dataset& val_data,
+    const CaruanaOptions& options) {
+  return GreedySelect(library_proba, val_data.num_rows(),
+                      val_data.num_classes(), options,
+                      [&](const ProbaMatrix& blended) {
+                        return PrimaryScore(val_data, blended);
+                      });
 }
 
 ProbaMatrix BlendProba(const std::vector<ProbaMatrix>& library_proba,

@@ -30,10 +30,18 @@ struct CaruanaResult {
 };
 
 /// `library_proba[m]` holds model m's probabilities on the validation
-/// rows whose labels are `val_labels`.
+/// rows whose labels are `val_labels`. Classification-only legacy entry
+/// point; greedy selection maximizes balanced accuracy.
 CaruanaResult CaruanaEnsembleSelection(
     const std::vector<ProbaMatrix>& library_proba,
     const std::vector<int>& val_labels, int num_classes,
+    const CaruanaOptions& options);
+
+/// Task-aware entry point: scores blends with PrimaryScore() against
+/// `val_data` (balanced accuracy, or -RMSE for regression, both
+/// higher-is-better), so the same greedy loop ensembles any task.
+CaruanaResult CaruanaEnsembleSelection(
+    const std::vector<ProbaMatrix>& library_proba, const Dataset& val_data,
     const CaruanaOptions& options);
 
 /// Weighted average of library probabilities on new data.

@@ -68,11 +68,17 @@ Result<ArtifactLadder> ArtifactLadder::Build(const FittedArtifact& artifact,
 
   ArtifactTier constant;
   constant.name = "constant";
-  const std::vector<int> counts = train.ClassCounts();
-  constant.constant_proba.assign(counts.size(), 0.0);
-  for (size_t c = 0; c < counts.size(); ++c) {
-    constant.constant_proba[c] = static_cast<double>(counts[c]) /
-                                 static_cast<double>(train.num_rows());
+  if (train.task() == TaskType::kRegression) {
+    // Regression's zero-information answer is the training target mean
+    // (the analogue of the class prior below).
+    constant.constant_proba.assign(1, train.TargetMean());
+  } else {
+    const std::vector<int> counts = train.ClassCounts();
+    constant.constant_proba.assign(counts.size(), 0.0);
+    for (size_t c = 0; c < counts.size(); ++c) {
+      constant.constant_proba[c] = static_cast<double>(counts[c]) /
+                                   static_cast<double>(train.num_rows());
+    }
   }
   ladder.tiers_.push_back(std::move(constant));
 

@@ -9,20 +9,25 @@
 namespace green {
 
 std::string ToCsvString(const Dataset& data) {
+  const bool regression = data.task() == TaskType::kRegression;
   std::string out;
   for (size_t j = 0; j < data.num_features(); ++j) {
     out += data.feature_name(j);
     if (data.feature_type(j) == FeatureType::kCategorical) out += "#cat";
     out += ",";
   }
-  out += "label\n";
+  out += regression ? "target\n" : "label\n";
   for (size_t r = 0; r < data.num_rows(); ++r) {
     for (size_t j = 0; j < data.num_features(); ++j) {
       const double v = data.At(r, j);
       if (!std::isnan(v)) out += StrFormat("%.10g", v);
       out += ",";
     }
-    out += StrFormat("%d\n", data.Label(r));
+    if (regression) {
+      out += StrFormat("%.17g\n", data.Target(r));
+    } else {
+      out += StrFormat("%d\n", data.Label(r));
+    }
   }
   return out;
 }
@@ -34,14 +39,20 @@ Result<Dataset> FromCsvString(const std::string& text,
     return Status::InvalidArgument("empty CSV");
   }
   std::vector<std::string> header = Split(std::string(Trim(lines[0])), ',');
-  if (header.empty() || Trim(header.back()) != "label") {
-    return Status::InvalidArgument("last CSV column must be 'label'");
+  const std::string last_col =
+      header.empty() ? "" : std::string(Trim(header.back()));
+  // "label" closes a classification CSV; "target" a regression one.
+  const bool regression = last_col == "target";
+  if (header.empty() || (last_col != "label" && !regression)) {
+    return Status::InvalidArgument(
+        "last CSV column must be 'label' or 'target'");
   }
   const size_t num_features = header.size() - 1;
 
   // First pass: parse rows, track max label.
   std::vector<std::vector<double>> rows;
   std::vector<int> labels;
+  std::vector<double> targets;
   int max_label = -1;
   for (size_t li = 1; li < lines.size(); ++li) {
     const std::string_view line = Trim(lines[li]);
@@ -70,6 +81,25 @@ Result<Dataset> FromCsvString(const std::string& text,
       }
     }
     const std::string label_field(Trim(fields.back()));
+    if (regression) {
+      // Same hostile-input discipline as the feature columns: the whole
+      // field must parse, so "12abc" or "" errors instead of becoming 0.
+      char* target_end = nullptr;
+      const double target = std::strtod(label_field.c_str(), &target_end);
+      if (label_field.empty() || target_end == label_field.c_str() ||
+          *target_end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("non-numeric target '%s' on line %zu",
+                      label_field.c_str(), li));
+      }
+      if (std::isnan(target) || std::isinf(target)) {
+        return Status::InvalidArgument(
+            StrFormat("non-finite target on line %zu", li));
+      }
+      rows.push_back(std::move(row));
+      targets.push_back(target);
+      continue;
+    }
     char* label_end = nullptr;
     const long parsed_label =
         std::strtol(label_field.c_str(), &label_end, 10);
@@ -90,7 +120,8 @@ Result<Dataset> FromCsvString(const std::string& text,
   }
   if (rows.empty()) return Status::InvalidArgument("CSV has no data rows");
 
-  Dataset data(name, num_features, max_label + 1);
+  Dataset data = regression ? Dataset::Regression(name, num_features)
+                            : Dataset(name, num_features, max_label + 1);
   for (size_t j = 0; j < num_features; ++j) {
     std::string col_name = std::string(Trim(header[j]));
     if (EndsWith(col_name, "#cat")) {
@@ -101,7 +132,11 @@ Result<Dataset> FromCsvString(const std::string& text,
   }
   data.Reserve(rows.size());
   for (size_t r = 0; r < rows.size(); ++r) {
-    GREEN_RETURN_IF_ERROR(data.AppendRow(rows[r], labels[r]));
+    if (regression) {
+      GREEN_RETURN_IF_ERROR(data.AppendTargetRow(rows[r], targets[r]));
+    } else {
+      GREEN_RETURN_IF_ERROR(data.AppendRow(rows[r], labels[r]));
+    }
   }
   return data;
 }

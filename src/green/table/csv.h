@@ -9,8 +9,10 @@
 namespace green {
 
 /// CSV interchange for datasets. Format: a header row of feature names
-/// followed by "label"; categorical columns are marked by a "#cat" suffix
-/// in the header; missing values are empty fields.
+/// followed by "label" (classification) or "target" (regression);
+/// categorical columns are marked by a "#cat" suffix in the header;
+/// missing values are empty fields. Targets parse strictly — a
+/// non-numeric target is an error, never a silent 0.
 Status WriteCsv(const Dataset& data, const std::string& path);
 
 /// Parses a CSV written by WriteCsv (or hand-authored with the same

@@ -10,12 +10,26 @@ Dataset::Dataset(std::string name, size_t num_features, int num_classes)
     : name_(std::move(name)),
       num_features_(num_features),
       num_classes_(num_classes),
+      task_(TaskTypeForClasses(num_classes)),
       storage_(std::make_shared<Storage>()) {
   storage_->feature_types.assign(num_features, FeatureType::kNumeric);
   storage_->feature_names.reserve(num_features);
   for (size_t j = 0; j < num_features; ++j) {
     storage_->feature_names.push_back(StrFormat("f%zu", j));
   }
+}
+
+Dataset Dataset::Regression(std::string name, size_t num_features) {
+  Dataset out(std::move(name), num_features, /*num_classes=*/1);
+  out.task_ = TaskType::kRegression;
+  return out;
+}
+
+Dataset Dataset::Like(const Dataset& proto, std::string name,
+                      size_t num_features) {
+  Dataset out(std::move(name), num_features, proto.num_classes());
+  out.task_ = proto.task();
+  return out;
 }
 
 void Dataset::EnsureOwned() {
@@ -38,6 +52,10 @@ void Dataset::EnsureOwned() {
 }
 
 Status Dataset::AppendRow(const std::vector<double>& features, int label) {
+  if (task_ == TaskType::kRegression) {
+    return Status::FailedPrecondition(
+        "AppendRow on a regression dataset; use AppendTargetRow");
+  }
   if (features.size() != num_features_) {
     return Status::InvalidArgument(
         StrFormat("row has %zu features, expected %zu", features.size(),
@@ -53,10 +71,47 @@ Status Dataset::AppendRow(const std::vector<double>& features, int label) {
   return Status::Ok();
 }
 
+Status Dataset::AppendTargetRow(const std::vector<double>& features,
+                                double target) {
+  if (task_ != TaskType::kRegression) {
+    return Status::FailedPrecondition(
+        "AppendTargetRow on a classification dataset; use AppendRow");
+  }
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu features, expected %zu", features.size(),
+                  num_features_));
+  }
+  EnsureOwned();
+  storage_->x.insert(storage_->x.end(), features.begin(), features.end());
+  labels_.push_back(0);  // All-zero labels keep class invariants alive.
+  targets_.push_back(target);
+  return Status::Ok();
+}
+
+Status Dataset::AppendRowLike(const Dataset& src, size_t src_row,
+                              const std::vector<double>& features) {
+  if (src.task() != task_) {
+    return Status::InvalidArgument("AppendRowLike: task mismatch");
+  }
+  if (task_ == TaskType::kRegression) {
+    return AppendTargetRow(features, src.Target(src_row));
+  }
+  return AppendRow(features, src.Label(src_row));
+}
+
+double Dataset::TargetMean() const {
+  if (targets_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double y : targets_) sum += y;
+  return sum / static_cast<double>(targets_.size());
+}
+
 void Dataset::Reserve(size_t rows) {
   EnsureOwned();
   storage_->x.reserve(rows * num_features_);
   labels_.reserve(rows);
+  if (task_ == TaskType::kRegression) targets_.reserve(rows);
 }
 
 void Dataset::SetFeatureType(size_t j, FeatureType type) {
@@ -108,23 +163,27 @@ Dataset Dataset::Subset(const std::vector<size_t>& rows) const {
   out.name_ = name_;
   out.num_features_ = num_features_;
   out.num_classes_ = num_classes_;
+  out.task_ = task_;
   out.nominal_rows_ = nominal_rows_;
   out.nominal_features_ = nominal_features_;
   out.storage_ = storage_;
   auto index = std::make_shared<std::vector<size_t>>();
   index->reserve(rows.size());
   out.labels_.reserve(rows.size());
+  if (!targets_.empty()) out.targets_.reserve(rows.size());
   for (size_t r : rows) {
     GREEN_CHECK(r < num_rows());
     index->push_back(PhysRow(r));  // Compose views: map through our index.
     out.labels_.push_back(labels_[r]);
+    if (!targets_.empty()) out.targets_.push_back(targets_[r]);
   }
   out.row_index_ = std::move(index);
   return out;
 }
 
 Dataset Dataset::SelectFeatures(const std::vector<size_t>& cols) const {
-  Dataset out(name_, cols.size(), num_classes_);
+  Dataset out = Like(*this, name_, cols.size());
+  out.targets_ = targets_;
   for (size_t k = 0; k < cols.size(); ++k) {
     GREEN_CHECK(cols[k] < num_features_);
     out.storage_->feature_types[k] = storage_->feature_types[cols[k]];

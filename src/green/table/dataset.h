@@ -8,6 +8,7 @@
 
 #include "green/common/status.h"
 #include "green/table/column.h"
+#include "green/table/task_type.h"
 
 namespace green {
 
@@ -31,11 +32,34 @@ namespace green {
 class Dataset {
  public:
   Dataset() = default;
+  /// Classification dataset; the task is kBinary for num_classes <= 2 and
+  /// kMulticlass otherwise.
   Dataset(std::string name, size_t num_features, int num_classes);
+
+  /// Regression dataset: continuous targets, num_classes() == 1 (labels
+  /// are all zero so every labels_-based invariant — row counts, class
+  /// counts, stratified grouping — degrades gracefully to "one class").
+  static Dataset Regression(std::string name, size_t num_features);
+
+  /// Empty dataset shaped like `proto` (same task and class count) with a
+  /// fresh feature width. Used wherever code rebuilds a dataset row by
+  /// row (encoders, stacking augmentation) so the task survives.
+  static Dataset Like(const Dataset& proto, std::string name,
+                      size_t num_features);
 
   // --- construction ---
   /// Appends one labeled row. `features.size()` must equal num_features().
+  /// FailedPrecondition on regression datasets — use AppendTargetRow.
   Status AppendRow(const std::vector<double>& features, int label);
+
+  /// Appends one row with a continuous target. FailedPrecondition on
+  /// classification datasets.
+  Status AppendTargetRow(const std::vector<double>& features, double target);
+
+  /// Appends one row copying the label (or target) of `src`'s row
+  /// `src_row`; `src` must have the same task and class count.
+  Status AppendRowLike(const Dataset& src, size_t src_row,
+                       const std::vector<double>& features);
 
   /// Pre-allocates capacity for `rows` total rows (copy-on-write first, so
   /// a view materializes once instead of growing geometrically from zero).
@@ -51,6 +75,7 @@ class Dataset {
   size_t num_rows() const { return labels_.size(); }
   size_t num_features() const { return num_features_; }
   int num_classes() const { return num_classes_; }
+  TaskType task() const { return task_; }
   int64_t nominal_rows() const { return nominal_rows_; }
   int64_t nominal_features() const { return nominal_features_; }
 
@@ -76,6 +101,12 @@ class Dataset {
   }
   int Label(size_t row) const { return labels_[row]; }
   const std::vector<int>& labels() const { return labels_; }
+  /// Continuous target of a regression row; empty for classification.
+  double Target(size_t row) const { return targets_[row]; }
+  const std::vector<double>& targets() const { return targets_; }
+  /// Mean of the regression targets (0 when empty) — the regression
+  /// analogue of the class prior.
+  double TargetMean() const;
   const double* RowPtr(size_t row) const {
     return storage_->x.data() + PhysRow(row) * num_features_;
   }
@@ -148,10 +179,13 @@ class Dataset {
   std::string name_;
   size_t num_features_ = 0;
   int num_classes_ = 0;
+  TaskType task_ = TaskType::kBinary;
   std::shared_ptr<Storage> storage_;
   /// Maps logical row -> physical row in storage. Null = identity.
   std::shared_ptr<const std::vector<size_t>> row_index_;
   std::vector<int> labels_;  // Per-view: labels_[i] labels logical row i.
+  /// Parallel to labels_ for regression datasets; empty otherwise.
+  std::vector<double> targets_;
   int64_t nominal_rows_ = 0;
   int64_t nominal_features_ = 0;
 };

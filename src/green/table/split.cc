@@ -18,22 +18,45 @@ std::vector<std::vector<size_t>> GroupByClass(const Dataset& data,
   return by_class;
 }
 
+/// All row indices in one shuffled group.
+std::vector<size_t> ShuffledRows(const Dataset& data, Rng* rng) {
+  std::vector<size_t> rows(data.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  rng->Shuffle(&rows);
+  return rows;
+}
+
+/// Partitions one shuffled group with StratifiedSplit's rounding policy.
+void SplitGroup(const std::vector<size_t>& group, double train_fraction,
+                TrainTestIndices* out) {
+  if (group.empty()) return;
+  size_t n_train = static_cast<size_t>(
+      static_cast<double>(group.size()) * train_fraction + 0.5);
+  if (n_train == 0 && group.size() > 1) n_train = 1;
+  if (n_train >= group.size()) n_train = group.size() - 1;
+  if (group.size() == 1) n_train = 1;  // Lone row goes to train.
+  for (size_t i = 0; i < group.size(); ++i) {
+    (i < n_train ? out->train : out->test).push_back(group[i]);
+  }
+}
+
 }  // namespace
 
 TrainTestIndices StratifiedSplit(const Dataset& data, double train_fraction,
                                  Rng* rng) {
   TrainTestIndices out;
   for (auto& group : GroupByClass(data, rng)) {
-    if (group.empty()) continue;
-    size_t n_train = static_cast<size_t>(
-        static_cast<double>(group.size()) * train_fraction + 0.5);
-    if (n_train == 0 && group.size() > 1) n_train = 1;
-    if (n_train >= group.size()) n_train = group.size() - 1;
-    if (group.size() == 1) n_train = 1;  // Lone row goes to train.
-    for (size_t i = 0; i < group.size(); ++i) {
-      (i < n_train ? out.train : out.test).push_back(group[i]);
-    }
+    SplitGroup(group, train_fraction, &out);
   }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+TrainTestIndices PlainSplit(const Dataset& data, double train_fraction,
+                            Rng* rng) {
+  TrainTestIndices out;
+  SplitGroup(ShuffledRows(data, rng), train_fraction, &out);
   std::sort(out.train.begin(), out.train.end());
   std::sort(out.test.begin(), out.test.end());
   return out;
@@ -49,6 +72,35 @@ std::vector<std::vector<size_t>> StratifiedKFold(const Dataset& data,
   }
   for (auto& f : folds) std::sort(f.begin(), f.end());
   return folds;
+}
+
+std::vector<std::vector<size_t>> PlainKFold(const Dataset& data, int k,
+                                            Rng* rng) {
+  std::vector<std::vector<size_t>> folds(static_cast<size_t>(k));
+  const std::vector<size_t> rows = ShuffledRows(data, rng);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    folds[i % static_cast<size_t>(k)].push_back(rows[i]);
+  }
+  for (auto& f : folds) std::sort(f.begin(), f.end());
+  return folds;
+}
+
+TrainTestIndices SplitForTask(const Dataset& data, double train_fraction,
+                              Rng* rng) {
+  return data.task() == TaskType::kRegression
+             ? PlainSplit(data, train_fraction, rng)
+             : StratifiedSplit(data, train_fraction, rng);
+}
+
+std::vector<std::vector<size_t>> KFoldForTask(const Dataset& data, int k,
+                                              Rng* rng) {
+  return data.task() == TaskType::kRegression
+             ? PlainKFold(data, k, rng)
+             : StratifiedKFold(data, k, rng);
+}
+
+const char* SplitterNameForTask(TaskType task) {
+  return task == TaskType::kRegression ? "plain" : "stratified";
 }
 
 std::vector<size_t> SamplePerClass(const Dataset& data, int per_class,

@@ -20,11 +20,32 @@ struct TrainTestIndices {
 TrainTestIndices StratifiedSplit(const Dataset& data, double train_fraction,
                                  Rng* rng);
 
+/// Plain (non-stratified) shuffled split with the same rounding policy as
+/// StratifiedSplit applied to the whole dataset at once. The splitter for
+/// regression tasks, where labels carry no class structure.
+TrainTestIndices PlainSplit(const Dataset& data, double train_fraction,
+                            Rng* rng);
+
 /// Stratified k-fold cross-validation indices; fold f's test rows are
 /// `folds[f]`, its training rows are everything else. Used by TPOT
 /// (5-fold CV) and AutoGluon bagging.
 std::vector<std::vector<size_t>> StratifiedKFold(const Dataset& data,
                                                  int k, Rng* rng);
+
+/// Plain shuffled k-fold (round-robin assignment after one shuffle).
+std::vector<std::vector<size_t>> PlainKFold(const Dataset& data, int k,
+                                            Rng* rng);
+
+/// Task dispatch: stratified for classification, plain for regression.
+/// Classification behavior (including RNG consumption) is identical to
+/// calling StratifiedSplit / StratifiedKFold directly.
+TrainTestIndices SplitForTask(const Dataset& data, double train_fraction,
+                              Rng* rng);
+std::vector<std::vector<size_t>> KFoldForTask(const Dataset& data, int k,
+                                              Rng* rng);
+
+/// Name of the splitter SplitForTask would choose: "stratified"/"plain".
+const char* SplitterNameForTask(TaskType task);
 
 /// Draws up to `per_class` rows per class (without replacement); the
 /// incremental-training strategy of CAML grows samples this way.

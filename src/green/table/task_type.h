@@ -1,0 +1,46 @@
+#ifndef GREEN_TABLE_TASK_TYPE_H_
+#define GREEN_TABLE_TASK_TYPE_H_
+
+#include <string>
+#include <vector>
+
+#include "green/common/status.h"
+
+namespace green {
+
+/// The learning task a dataset represents. Everything downstream — the
+/// splitter, the primary metric, the search score direction, which model
+/// families are admissible — dispatches on this enum, so a dataset's task
+/// is decided exactly once, at construction or inference time.
+enum class TaskType {
+  kBinary,      ///< Two-class classification.
+  kMulticlass,  ///< N-class classification, N >= 3.
+  kRegression,  ///< Continuous target.
+};
+
+/// Stable lowercase identifier: "binary" / "multiclass" / "regression".
+const char* TaskTypeName(TaskType task);
+
+/// Inverse of TaskTypeName; InvalidArgument on unknown names.
+Result<TaskType> ParseTaskType(const std::string& name);
+
+inline bool IsClassification(TaskType task) {
+  return task != TaskType::kRegression;
+}
+
+/// Task implied by a class count (classification side only): 2 or fewer
+/// distinct classes is binary, 3+ is multiclass.
+TaskType TaskTypeForClasses(int num_classes);
+
+/// Task detection from a raw target column, the automl-tabular heuristic:
+/// a target whose values are all small non-negative integers with few
+/// distinct levels is classification (binary for two levels, multiclass
+/// above); anything fractional, negative, or high-cardinality is
+/// regression. `max_classes` caps the distinct-level count still treated
+/// as classification.
+TaskType InferTaskType(const std::vector<double>& targets,
+                       int max_classes = 50);
+
+}  // namespace green
+
+#endif  // GREEN_TABLE_TASK_TYPE_H_

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "green/automl/askl_system.h"
+#include "green/automl/autopt_system.h"
 #include "green/automl/caml_system.h"
 #include "green/automl/flaml_system.h"
 #include "green/automl/gluon_system.h"
@@ -315,6 +316,135 @@ TEST_F(SystemsTest, TpotRejectsTooFewRows) {
   }
   TpotSystem tpot;
   EXPECT_FALSE(tpot.Fit(tiny, Budget(60.0), &ctx_).ok());
+}
+
+// --- autopt (joint MLP architecture + hyperparameter ladder) ---
+
+TEST_F(SystemsTest, AutoPtFindsCompetentMlp) {
+  AutoPtSystem autopt;
+  auto run = autopt.Fit(train_, Budget(8.0), &ctx_);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->pipelines_evaluated, 1);
+  EXPECT_GT(TestAccuracy(run->artifact), 0.7);
+  // Multi-fidelity: the ladder proposes more configs than survive to the
+  // top rung, and the winner's score is a real holdout number.
+  EXPECT_GT(run->best_validation_score, 0.5);
+}
+
+TEST_F(SystemsTest, AutoPtChargesUnderItsOwnScopeSubtree) {
+  AutoPtSystem autopt;
+  auto run = autopt.Fit(train_, Budget(6.0), &ctx_);
+  ASSERT_TRUE(run.ok());
+  ASSERT_FALSE(run->execution.scopes.empty());
+  bool has_search_subtree = false;
+  for (const auto& [path, charge] : run->execution.scopes) {
+    EXPECT_EQ(path.rfind("autopt", 0), 0u) << path;
+    if (path.rfind("autopt/search", 0) == 0) has_search_subtree = true;
+  }
+  EXPECT_TRUE(has_search_subtree);
+}
+
+TEST_F(SystemsTest, AutoPtRespectsBudgetWithFinishLastEvaluation) {
+  AutoPtSystem autopt;
+  EXPECT_EQ(autopt.budget_policy(),
+            BudgetPolicyKind::kFinishLastEvaluation);
+  const double start = ctx_.Now();
+  auto run = autopt.Fit(train_, Budget(5.0), &ctx_);
+  ASSERT_TRUE(run.ok());
+  // May finish the in-flight evaluation but not arbitrarily overrun.
+  EXPECT_LT(ctx_.Now() - start, 5.0 * 3.0);
+}
+
+TEST_F(SystemsTest, AutoPtDeterministicInSeed) {
+  AutoPtSystem a, b;
+  VirtualClock clock_a, clock_b;
+  ExecutionContext ctx_a(&clock_a, &energy_model_, 1);
+  ExecutionContext ctx_b(&clock_b, &energy_model_, 1);
+  auto run_a = a.Fit(train_, Budget(6.0), &ctx_a);
+  auto run_b = b.Fit(train_, Budget(6.0), &ctx_b);
+  ASSERT_TRUE(run_a.ok() && run_b.ok());
+  EXPECT_EQ(run_a->best_validation_score, run_b->best_validation_score);
+  EXPECT_EQ(run_a->pipelines_evaluated, run_b->pipelines_evaluated);
+  EXPECT_EQ(clock_a.Now(), clock_b.Now());
+}
+
+// --- regression across systems ---
+
+class RegressionSystemsTest : public ::testing::Test {
+ protected:
+  RegressionSystemsTest()
+      : energy_model_(MachineModel::Minimal()),
+        ctx_(&clock_, &energy_model_, 1) {
+    SyntheticRegressionSpec spec;
+    spec.name = "reg_task";
+    spec.num_rows = 240;
+    spec.num_features = 8;
+    spec.num_informative = 6;
+    spec.num_categorical = 2;
+    spec.noise = 0.3;
+    spec.seed = 9;
+    Dataset data = GenerateSyntheticRegression(spec).value();
+    Rng rng(9);
+    TrainTestData split = Materialize(data, SplitForTask(data, 0.7, &rng));
+    train_ = std::move(split.train);
+    test_ = std::move(split.test);
+  }
+
+  AutoMlOptions Budget(double seconds) {
+    AutoMlOptions options;
+    options.search_budget_seconds = seconds;
+    options.seed = 42;
+    return options;
+  }
+
+  VirtualClock clock_;
+  EnergyModel energy_model_;
+  ExecutionContext ctx_;
+  Dataset train_ = Dataset::Regression("empty", 1);
+  Dataset test_ = Dataset::Regression("empty", 1);
+};
+
+TEST_F(RegressionSystemsTest, SystemsBeatTargetMeanBaseline) {
+  CamlSystem caml;
+  FlamlSystem flaml;
+  AutoPtSystem autopt;
+  for (AutoMlSystem* system :
+       std::initializer_list<AutoMlSystem*>{&caml, &flaml, &autopt}) {
+    SCOPED_TRACE(system->Name());
+    ASSERT_TRUE(system->SupportsTask(TaskType::kRegression));
+    auto run = system->Fit(train_, Budget(6.0), &ctx_);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    auto pred = run->artifact.PredictProba(test_, &ctx_);
+    ASSERT_TRUE(pred.ok());
+    ASSERT_EQ((*pred)[0].size(), 1u);
+    std::vector<double> flat;
+    flat.reserve(pred->size());
+    for (const auto& row : *pred) flat.push_back(row[0]);
+    EXPECT_GT(R2(test_.targets(), flat), 0.0);
+    // The recorded validation score is the negated-RMSE adapter value.
+    EXPECT_LT(run->best_validation_score, 0.0);
+    EXPECT_GT(MetricFromScore(TaskType::kRegression,
+                              run->best_validation_score),
+              0.0);
+  }
+}
+
+TEST_F(RegressionSystemsTest, HardLabelPredictionIsATypedError) {
+  CamlSystem caml;
+  auto run = caml.Fit(train_, Budget(4.0), &ctx_);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->artifact.task(), TaskType::kRegression);
+  auto preds = run->artifact.Predict(test_, &ctx_);
+  ASSERT_FALSE(preds.ok());
+  EXPECT_EQ(preds.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST_F(RegressionSystemsTest, TabPfnDeclinesRegression) {
+  TabPfnSystem tabpfn;
+  EXPECT_FALSE(tabpfn.SupportsTask(TaskType::kRegression));
+  const auto run = tabpfn.Fit(train_, Budget(4.0), &ctx_);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), Status::Code::kUnimplemented);
 }
 
 // --- budget policies across systems ---
