@@ -6,17 +6,22 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "green/automl/caml_system.h"
+#include "green/automl/fitted_artifact.h"
 #include "green/bench_util/experiment.h"
 #include "green/common/thread_pool.h"
 #include "green/data/synthetic.h"
+#include "green/ml/kernels/histogram.h"
+#include "green/ml/model_registry.h"
 #include "green/ml/models/attention_few_shot.h"
 #include "green/ml/models/decision_tree.h"
 #include "green/ml/models/gradient_boosting.h"
+#include "green/ml/models/knn.h"
 #include "green/ml/models/random_forest.h"
 #include "green/search/caruana.h"
 #include "green/search/rf_surrogate.h"
@@ -104,6 +109,79 @@ void BM_AttentionFewShotInference(benchmark::State& state) {
                           static_cast<int64_t>(data.num_rows()));
 }
 BENCHMARK(BM_AttentionFewShotInference)->Arg(128)->Arg(512);
+
+// Brute-force neighbour scan: the distance kernel dominates. Arg = rows
+// in the memorized training set (queries reuse the same rows).
+void BM_KnnPredict(benchmark::State& state) {
+  const Dataset data =
+      BenchData(static_cast<size_t>(state.range(0)), 16, 3);
+  Ctx c;
+  Knn knn{KnnParams{}};
+  if (!knn.Fit(data, &c.ctx).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.PredictProba(data, &c.ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_KnnPredict)->Arg(400)->Arg(1600);
+
+// Weighted blend across an ensemble of fitted pipelines. Arg = member
+// count; the blend accumulation itself is what the kernel path flattens.
+void BM_BlendedPredict(benchmark::State& state) {
+  const Dataset data = BenchData(400, 12, 3);
+  Ctx c;
+  std::vector<FittedArtifact::Member> members;
+  for (int j = 0; j < state.range(0); ++j) {
+    PipelineConfig config;
+    config.model = "decision_tree";
+    config.seed = static_cast<uint64_t>(j + 1);
+    auto pipeline = BuildPipeline(config);
+    if (!pipeline.ok() || !pipeline->Fit(data, &c.ctx).ok()) {
+      state.SkipWithError("fit failed");
+      return;
+    }
+    FittedArtifact::Member member;
+    member.folds.push_back(
+        std::make_shared<Pipeline>(std::move(pipeline).value()));
+    member.weight = 1.0 / static_cast<double>(state.range(0));
+    members.push_back(std::move(member));
+  }
+  const FittedArtifact artifact =
+      FittedArtifact::Weighted(std::move(members));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(artifact.PredictProba(data, &c.ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_BlendedPredict)->Arg(4)->Arg(16);
+
+// The fixed-bin histogram split scan in isolation: one node's worth of
+// gathered column values and labels, scanned for the best edge.
+void BM_TreeSplitScan(benchmark::State& state) {
+  Rng rng(5);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int k = 3;
+  const int bins = 32;
+  std::vector<double> vals(n);
+  std::vector<int32_t> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    vals[i] = rng.NextDouble();
+    labels[i] = static_cast<int32_t>(rng.NextBounded(k));
+  }
+  std::vector<double> scratch((bins + 2) * k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HistogramSplitScanCls(
+        vals.data(), labels.data(), n, k, 0.0, 1.0, bins, 2,
+        scratch.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TreeSplitScan)->Arg(1024)->Arg(8192);
 
 void BM_RfSurrogateFit(benchmark::State& state) {
   Rng rng(1);

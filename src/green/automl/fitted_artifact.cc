@@ -3,8 +3,39 @@
 #include "green/common/logging.h"
 #include "green/common/mathutil.h"
 #include "green/common/stringutil.h"
+#include "green/ml/kernels/kernels.h"
 
 namespace green {
+
+namespace {
+
+/// Kernel-path weighted blend: streams every member's probabilities into
+/// one flat rows x k accumulator instead of per-row vectors. Per-(row,
+/// class) adds keep member order, and zero-weight members are skipped
+/// exactly like the reference loop, so the result is bit-identical.
+ProbaMatrix BlendFlat(const std::vector<ProbaMatrix>& probas,
+                      const std::vector<double>& weights, size_t rows,
+                      size_t k) {
+  std::vector<double> acc(rows * k, 0.0);
+  for (size_t j = 0; j < probas.size(); ++j) {
+    const double w = weights[j];
+    if (w <= 0.0) continue;
+    const ProbaMatrix& p = probas[j];
+    for (size_t i = 0; i < rows; ++i) {
+      double* row = acc.data() + i * k;
+      const std::vector<double>& src = p[i];
+      for (size_t c = 0; c < k; ++c) row[c] += w * src[c];
+    }
+  }
+  ProbaMatrix out(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    out[i].assign(acc.begin() + static_cast<ptrdiff_t>(i * k),
+                  acc.begin() + static_cast<ptrdiff_t>((i + 1) * k));
+  }
+  return out;
+}
+
+}  // namespace
 
 FittedArtifact FittedArtifact::Single(
     std::shared_ptr<const Pipeline> pipeline) {
@@ -95,20 +126,29 @@ Result<ProbaMatrix> FittedArtifact::PredictProba(
 
   if (meta_.empty()) {
     // Weighted blend of the base layer.
-    ProbaMatrix out(data.num_rows());
     const size_t k = base_probas[0][0].size();
-    for (size_t i = 0; i < data.num_rows(); ++i) {
-      out[i].assign(k, 0.0);
-    }
     double weight_sum = 0.0;
     for (const Member& m : base_) weight_sum += m.weight;
     if (weight_sum <= 0.0) weight_sum = 1.0;
-    for (size_t j = 0; j < base_.size(); ++j) {
-      const double w = base_[j].weight / weight_sum;
-      if (w <= 0.0) continue;
+    ProbaMatrix out;
+    if (KernelsEnabled()) {
+      std::vector<double> weights(base_.size());
+      for (size_t j = 0; j < base_.size(); ++j) {
+        weights[j] = base_[j].weight / weight_sum;
+      }
+      out = BlendFlat(base_probas, weights, data.num_rows(), k);
+    } else {
+      out.resize(data.num_rows());
       for (size_t i = 0; i < data.num_rows(); ++i) {
-        for (size_t c = 0; c < out[i].size(); ++c) {
-          out[i][c] += w * base_probas[j][i][c];
+        out[i].assign(k, 0.0);
+      }
+      for (size_t j = 0; j < base_.size(); ++j) {
+        const double w = base_[j].weight / weight_sum;
+        if (w <= 0.0) continue;
+        for (size_t i = 0; i < data.num_rows(); ++i) {
+          for (size_t c = 0; c < out[i].size(); ++c) {
+            out[i][c] += w * base_probas[j][i][c];
+          }
         }
       }
     }
@@ -155,16 +195,27 @@ Result<ProbaMatrix> FittedArtifact::PredictProba(
                            MemberProba(member, augmented, ctx));
     meta_probas.push_back(std::move(proba));
   }
-  ProbaMatrix out(data.num_rows());
-  for (size_t i = 0; i < data.num_rows(); ++i) out[i].assign(k, 0.0);
   double weight_sum = 0.0;
   for (const Member& m : meta_) weight_sum += m.weight;
   if (weight_sum <= 0.0) weight_sum = 1.0;
-  for (size_t j = 0; j < meta_.size(); ++j) {
-    const double w = meta_[j].weight / weight_sum;
-    if (w <= 0.0) continue;
-    for (size_t i = 0; i < data.num_rows(); ++i) {
-      for (size_t c = 0; c < k; ++c) out[i][c] += w * meta_probas[j][i][c];
+  ProbaMatrix out;
+  if (KernelsEnabled()) {
+    std::vector<double> weights(meta_.size());
+    for (size_t j = 0; j < meta_.size(); ++j) {
+      weights[j] = meta_[j].weight / weight_sum;
+    }
+    out = BlendFlat(meta_probas, weights, data.num_rows(), k);
+  } else {
+    out.resize(data.num_rows());
+    for (size_t i = 0; i < data.num_rows(); ++i) out[i].assign(k, 0.0);
+    for (size_t j = 0; j < meta_.size(); ++j) {
+      const double w = meta_[j].weight / weight_sum;
+      if (w <= 0.0) continue;
+      for (size_t i = 0; i < data.num_rows(); ++i) {
+        for (size_t c = 0; c < k; ++c) {
+          out[i][c] += w * meta_probas[j][i][c];
+        }
+      }
     }
   }
   if (ctx->Interrupted()) {

@@ -1,0 +1,60 @@
+#include "green/common/arena.h"
+
+#include <cstdint>
+
+namespace green {
+
+void* Arena::Alloc(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    while (current_block_ < blocks_.size()) {
+      Block& block = blocks_[current_block_];
+      const uintptr_t base = reinterpret_cast<uintptr_t>(block.data.get());
+      const uintptr_t aligned =
+          (base + offset_ + (align - 1)) & ~uintptr_t(align - 1);
+      const size_t new_offset = (aligned - base) + bytes;
+      if (new_offset <= block.capacity) {
+        offset_ = new_offset;
+        allocated_bytes_ += bytes;
+        return reinterpret_cast<void*>(aligned);
+      }
+      // Doesn't fit; move on (skipped capacity returns on Reset/Rewind).
+      ++current_block_;
+      offset_ = 0;
+    }
+    // Blocks only ever append, so outstanding ArenaScope marks (block
+    // index, offset) stay valid.
+    size_t capacity = block_bytes_;
+    if (capacity < bytes + align) capacity = bytes + align;
+    Block block;
+    block.data = std::make_unique<char[]>(capacity);
+    block.capacity = capacity;
+    blocks_.push_back(std::move(block));
+    current_block_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+void Arena::Reset() {
+  current_block_ = 0;
+  offset_ = 0;
+  allocated_bytes_ = 0;
+}
+
+void Arena::Rewind(const Mark& mark) {
+  current_block_ = mark.block;
+  offset_ = mark.offset;
+}
+
+size_t Arena::reserved_bytes() const {
+  size_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity;
+  return total;
+}
+
+Arena* ScratchArena() {
+  thread_local Arena arena;
+  return &arena;
+}
+
+}  // namespace green

@@ -1,0 +1,53 @@
+#include "green/ml/kernels/distance_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace green {
+
+namespace {
+
+/// Rows per block: 8 KiB of accumulators stays L1-resident while the d
+/// column slices stream through.
+constexpr size_t kRowBlock = 1024;
+
+}  // namespace
+
+void SquaredDistancesColMajor(const double* cols, size_t n, size_t d,
+                              const double* query, double* out) {
+  std::fill(out, out + n, 0.0);
+  for (size_t r0 = 0; r0 < n; r0 += kRowBlock) {
+    const size_t r1 = std::min(n, r0 + kRowBlock);
+    for (size_t j = 0; j < d; ++j) {
+      const double xj = query[j];
+      const double* c = cols + j * n;
+      size_t r = r0;
+      for (; r + 4 <= r1; r += 4) {
+        const double d0 = xj - c[r];
+        const double d1 = xj - c[r + 1];
+        const double d2 = xj - c[r + 2];
+        const double d3 = xj - c[r + 3];
+        out[r] += d0 * d0;
+        out[r + 1] += d1 * d1;
+        out[r + 2] += d2 * d2;
+        out[r + 3] += d3 * d3;
+      }
+      for (; r < r1; ++r) {
+        const double diff = xj - c[r];
+        out[r] += diff * diff;
+      }
+    }
+  }
+}
+
+void ProjectTanh(const double* w, size_t h, size_t d, const double* x,
+                 double* out) {
+  for (size_t i = 0; i < h; ++i) {
+    const double* wi = w + i * d;
+    double z = 0.0;
+    for (size_t j = 0; j < d; ++j) z += wi[j] * x[j];
+    out[i] = std::tanh(z);
+  }
+}
+
+}  // namespace green

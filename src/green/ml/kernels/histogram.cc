@@ -1,0 +1,65 @@
+#include "green/ml/kernels/histogram.h"
+
+#include <algorithm>
+
+namespace green {
+
+HistogramSplit HistogramSplitScanCls(const double* vals,
+                                     const int32_t* labels, size_t n,
+                                     int k, double lo, double hi, int bins,
+                                     int min_samples_leaf,
+                                     double* scratch) {
+  const size_t kk = static_cast<size_t>(k);
+  const size_t nbins = static_cast<size_t>(bins);
+  double* counts = scratch;              // bins x k bin/class counts
+  double* left = scratch + nbins * kk;   // running left-side class counts
+  double* total_c = left + kk;           // per-class totals
+  std::fill(counts, counts + nbins * kk, 0.0);
+  std::fill(left, left + 2 * kk, 0.0);
+
+  const double inv_width = static_cast<double>(bins) / (hi - lo);
+  for (size_t i = 0; i < n; ++i) {
+    size_t b = static_cast<size_t>((vals[i] - lo) * inv_width);
+    if (b >= nbins) b = nbins - 1;  // v == hi lands past the last edge.
+    counts[b * kk + static_cast<size_t>(labels[i])] += 1.0;
+  }
+  for (size_t b = 0; b < nbins; ++b) {
+    for (size_t c = 0; c < kk; ++c) total_c[c] += counts[b * kk + c];
+  }
+
+  HistogramSplit best;
+  const double total = static_cast<double>(n);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  double n_left = 0.0;
+  for (size_t b = 0; b + 1 < nbins; ++b) {
+    double bin_total = 0.0;
+    for (size_t c = 0; c < kk; ++c) {
+      const double cnt = counts[b * kk + c];
+      left[c] += cnt;
+      bin_total += cnt;
+    }
+    n_left += bin_total;
+    if (bin_total <= 0.0) continue;  // Edge repartitions nothing.
+    const double n_right = total - n_left;
+    if (n_left < min_samples_leaf || n_right < min_samples_leaf) continue;
+    double left_gini = 1.0;
+    double right_gini = 1.0;
+    for (size_t c = 0; c < kk; ++c) {
+      const double pl = left[c] / n_left;
+      const double pr = (total_c[c] - left[c]) / n_right;
+      left_gini -= pl * pl;
+      right_gini -= pr * pr;
+    }
+    const double score =
+        (n_left * left_gini + n_right * right_gini) / total;
+    if (!best.found || score < best.score - 1e-12) {
+      best.found = true;
+      best.score = score;
+      best.threshold = lo + width * static_cast<double>(b + 1);
+      best.n_left = n_left;
+    }
+  }
+  return best;
+}
+
+}  // namespace green

@@ -1,0 +1,33 @@
+#ifndef GREEN_ML_KERNELS_HISTOGRAM_H_
+#define GREEN_ML_KERNELS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace green {
+
+/// Best split found by a fixed-bin histogram scan.
+struct HistogramSplit {
+  bool found = false;
+  /// Bin-edge threshold (rows with value <= threshold go left).
+  double threshold = 0.0;
+  /// Weighted Gini of the partition, comparable to the exact sweep score.
+  double score = 0.0;
+  double n_left = 0.0;
+};
+
+/// Fixed-bin histogram split scan for classification: one binning pass
+/// over `vals` (a gathered node column with min `lo`, max `hi`, hi > lo)
+/// builds per-class counts over `bins` equal-width bins, then the bins-1
+/// interior edges are swept as candidate thresholds in O(bins * k)
+/// instead of the exact scan's O(n log n) sort + O(n * k) sweep. Empty
+/// bins are skipped (their edge repartitions nothing). `scratch` must
+/// hold (bins + 2) * k doubles.
+HistogramSplit HistogramSplitScanCls(const double* vals,
+                                     const int32_t* labels, size_t n,
+                                     int k, double lo, double hi, int bins,
+                                     int min_samples_leaf, double* scratch);
+
+}  // namespace green
+
+#endif  // GREEN_ML_KERNELS_HISTOGRAM_H_

@@ -1,0 +1,36 @@
+#include "green/ml/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace green {
+
+namespace {
+
+bool KernelsFromEnv() {
+  const char* raw = std::getenv("GREEN_KERNELS");
+  return raw == nullptr || raw[0] != '0';
+}
+
+std::atomic<int>& KernelsState() {
+  // -1 = unresolved, 0 = off, 1 = on.
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+}  // namespace
+
+bool KernelsEnabled() {
+  int v = KernelsState().load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = KernelsFromEnv() ? 1 : 0;
+    KernelsState().store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetKernelsEnabled(bool enabled) {
+  KernelsState().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace green

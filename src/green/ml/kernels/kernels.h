@@ -1,0 +1,22 @@
+#ifndef GREEN_ML_KERNELS_KERNELS_H_
+#define GREEN_ML_KERNELS_KERNELS_H_
+
+namespace green {
+
+/// Toggle for the cache-/SIMD-friendly model hot-loop kernels (presorted
+/// tree split scans, blocked distance kernels, arena scratch, flat-buffer
+/// ensemble predict). Default ON; GREEN_KERNELS=0 selects the reference
+/// loops. The two paths are bit-identical in every observable output —
+/// fitted models, predictions, charged Work, record streams — because
+/// kernels only change memory layout and allocation, never the arithmetic
+/// order of any accumulation that reaches a model output, and Work is
+/// always charged from logical dimensions (rows x features), never from
+/// kernel implementation details.
+bool KernelsEnabled();
+
+/// Process-wide override (tests, CLI). Wins over the environment.
+void SetKernelsEnabled(bool enabled);
+
+}  // namespace green
+
+#endif  // GREEN_ML_KERNELS_KERNELS_H_

@@ -1,0 +1,107 @@
+#ifndef GREEN_ML_KERNELS_TREE_KERNELS_H_
+#define GREEN_ML_KERNELS_TREE_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "green/common/arena.h"
+#include "green/common/rng.h"
+#include "green/table/dataset.h"
+
+namespace green {
+
+/// Split-search parameters shared by the tree learners (a superset of
+/// DecisionTreeParams' split knobs plus GradientBoosting's).
+struct TreeKernelParams {
+  int max_depth = 8;
+  int min_samples_leaf = 2;
+  /// Features examined per split: 0 = all, otherwise ceil(fraction * d).
+  double max_features_fraction = 0.0;
+  /// Extra-Trees randomization: one uniform threshold per feature.
+  bool random_thresholds = false;
+  /// > 0 selects the fixed-bin histogram split scan instead of the exact
+  /// presorted sweep (classification only). An opt-in APPROXIMATION: the
+  /// chosen split may differ from the exact scan wherever a bin holds
+  /// more than one distinct value, so no reproduced system sets it — the
+  /// GREEN_KERNELS byte-identity invariant covers the default (0) mode.
+  int histogram_bins = 0;
+};
+
+/// Receives the nodes a kernel tree build emits. Node indices are handed
+/// out in the same preorder as the reference recursive builders, so a
+/// sink writing into a flat node vector reproduces the reference layout
+/// exactly.
+class TreeNodeSink {
+ public:
+  virtual ~TreeNodeSink() = default;
+  /// Appends an empty node, returning its index (called at node entry).
+  virtual int ReserveNode() = 0;
+  /// Classification leaf (normalized class distribution) or
+  /// single-element regression leaf ({mean}).
+  virtual void SetLeafProba(int node, std::vector<double> proba) = 0;
+  /// Scalar regression leaf (gradient-boosting trees).
+  virtual void SetLeafValue(int node, double value) = 0;
+  virtual void SetSplit(int node, int feature, double threshold, int left,
+                        int right) = 0;
+};
+
+/// Builds a classification tree over `rows` (duplicates allowed —
+/// bootstrap samples), mirroring DecisionTree::BuildNode bit-for-bit in
+/// the default mode: identical RNG consumption, identical split choices,
+/// identical leaf distributions, identical `*flops` accumulation. The
+/// exact path presorts each feature once per tree and stable-partitions
+/// the per-feature index lists down the recursion; the random-threshold
+/// path gathers each node's column once (fixing the double At() fetch)
+/// and scans contiguous arrays. Scratch lives on `arena` inside a scope.
+void KernelBuildClsTree(const Dataset& train,
+                        const std::vector<size_t>& rows,
+                        const TreeKernelParams& params, int num_classes,
+                        Rng* rng, double* flops, Arena* arena,
+                        TreeNodeSink* sink);
+
+/// Regression analogue of KernelBuildClsTree, mirroring
+/// DecisionTree::BuildRegNode (SSE criterion, {mean} proba leaves).
+void KernelBuildRegTree(const Dataset& train,
+                        const std::vector<size_t>& rows,
+                        const TreeKernelParams& params, Rng* rng,
+                        double* flops, Arena* arena, TreeNodeSink* sink);
+
+/// Per-round presorted feature cache for gradient boosting: the k
+/// per-class trees of one boosting round share the same row sample, so
+/// the sort-once-per-feature work is done here once and memcpy'd into
+/// each tree's working arrays.
+class GbRoundPresort {
+ public:
+  /// Gathers and presorts all feature columns of `rows`. The presort
+  /// borrows `arena` storage; keep the surrounding ArenaScope open for
+  /// this object's lifetime.
+  GbRoundPresort(const Dataset& train, const std::vector<size_t>& rows,
+                 Arena* arena);
+
+  size_t num_rows() const { return m_; }
+  size_t num_features() const { return d_; }
+
+ private:
+  friend void KernelBuildGbTree(const GbRoundPresort&,
+                                const std::vector<double>&,
+                                const TreeKernelParams&, double*, Arena*,
+                                TreeNodeSink*);
+  size_t m_ = 0;
+  size_t d_ = 0;
+  const uint32_t* rid_ = nullptr;   ///< Slot -> original row id.
+  const uint32_t* spos_ = nullptr;  ///< d x m sorted slot lists (pristine).
+  const double* sval_ = nullptr;    ///< d x m values in sorted order.
+};
+
+/// Builds one gradient-boosting regression tree over the presorted round
+/// cache, mirroring GradientBoosting::BuildRegNode bit-for-bit
+/// (variance-reduction gain, scalar mean leaves, identical `*flops`).
+/// `targets` is indexed by original row id.
+void KernelBuildGbTree(const GbRoundPresort& presort,
+                       const std::vector<double>& targets,
+                       const TreeKernelParams& params, double* flops,
+                       Arena* arena, TreeNodeSink* sink);
+
+}  // namespace green
+
+#endif  // GREEN_ML_KERNELS_TREE_KERNELS_H_

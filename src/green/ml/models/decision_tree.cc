@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 
+#include "green/common/arena.h"
 #include "green/common/logging.h"
+#include "green/ml/kernels/kernels.h"
+#include "green/ml/kernels/tree_kernels.h"
 
 namespace green {
 
@@ -43,6 +48,32 @@ void Normalize(std::vector<double>* v) {
 
 }  // namespace
 
+/// Writes kernel-built nodes into the tree's flat node vector; reserve
+/// order matches the reference builders' preorder emplace_back exactly.
+struct DecisionTree::KernelSink : TreeNodeSink {
+  explicit KernelSink(std::vector<Node>* nodes) : nodes(nodes) {}
+  std::vector<Node>* nodes;
+
+  int ReserveNode() override {
+    nodes->emplace_back();
+    return static_cast<int>(nodes->size() - 1);
+  }
+  void SetLeafProba(int node, std::vector<double> proba) override {
+    (*nodes)[static_cast<size_t>(node)].proba = std::move(proba);
+  }
+  void SetLeafValue(int node, double value) override {
+    (*nodes)[static_cast<size_t>(node)].proba = {value};
+  }
+  void SetSplit(int node, int feature, double threshold, int left,
+                int right) override {
+    Node& n = (*nodes)[static_cast<size_t>(node)];
+    n.feature = feature;
+    n.threshold = threshold;
+    n.left = left;
+    n.right = right;
+  }
+};
+
 Status DecisionTree::Fit(const Dataset& train, ExecutionContext* ctx) {
   ChargeScope scope(ctx, Name());
   std::vector<size_t> all(train.num_rows());
@@ -65,11 +96,29 @@ Status DecisionTree::FitCounted(const Dataset& train,
     return Status::InvalidArgument("decision_tree: empty training data");
   }
   nodes_.clear();
-  std::vector<size_t> rows = row_indices;
-  if (train.task() == TaskType::kRegression) {
-    BuildRegNode(train, &rows, 0, rng, flops);
+  if (KernelsEnabled() &&
+      train.num_rows() <= std::numeric_limits<uint32_t>::max()) {
+    TreeKernelParams kp;
+    kp.max_depth = params_.max_depth;
+    kp.min_samples_leaf = params_.min_samples_leaf;
+    kp.max_features_fraction = params_.max_features_fraction;
+    kp.random_thresholds = params_.random_thresholds;
+    kp.histogram_bins = params_.histogram_bins;
+    KernelSink sink(&nodes_);
+    if (train.task() == TaskType::kRegression) {
+      KernelBuildRegTree(train, row_indices, kp, rng, flops,
+                         ScratchArena(), &sink);
+    } else {
+      KernelBuildClsTree(train, row_indices, kp, train.num_classes(), rng,
+                         flops, ScratchArena(), &sink);
+    }
   } else {
-    BuildNode(train, &rows, 0, rng, flops);
+    std::vector<size_t> rows = row_indices;
+    if (train.task() == TaskType::kRegression) {
+      BuildRegNode(train, &rows, 0, rng, flops);
+    } else {
+      BuildNode(train, &rows, 0, rng, flops);
+    }
   }
 
   // Mean leaf depth drives the per-row inference cost estimate.
@@ -140,13 +189,19 @@ int DecisionTree::BuildRegNode(const Dataset& train,
 
   std::vector<std::pair<double, size_t>> sorted;
   sorted.reserve(rows->size());
+  std::vector<double> col;
+  col.reserve(rows->size());
   for (size_t f : features) {
     if (params_.random_thresholds) {
-      // Extra-Trees: one uniformly random threshold per feature.
+      // Extra-Trees: one uniformly random threshold per feature. The
+      // min/max pass gathers the column so the threshold scan below
+      // reads the gathered copy instead of re-fetching every value.
       double lo = train.At((*rows)[0], f);
       double hi = lo;
+      col.clear();
       for (size_t r : *rows) {
         const double v = train.At(r, f);
+        col.push_back(v);
         lo = std::min(lo, v);
         hi = std::max(hi, v);
       }
@@ -156,9 +211,9 @@ int DecisionTree::BuildRegNode(const Dataset& train,
       double left_sum = 0.0;
       double left_sumsq = 0.0;
       double n_left = 0.0;
-      for (size_t r : *rows) {
-        if (train.At(r, f) <= thr) {
-          const double y = train.Target(r);
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (col[i] <= thr) {
+          const double y = train.Target((*rows)[i]);
           left_sum += y;
           left_sumsq += y * y;
           n_left += 1.0;
@@ -284,13 +339,19 @@ int DecisionTree::BuildNode(const Dataset& train, std::vector<size_t>* rows,
 
   std::vector<std::pair<double, size_t>> sorted;
   sorted.reserve(rows->size());
+  std::vector<double> col;
+  col.reserve(rows->size());
   for (size_t f : features) {
     if (params_.random_thresholds) {
-      // Extra-Trees: one uniformly random threshold per feature.
+      // Extra-Trees: one uniformly random threshold per feature. The
+      // min/max pass gathers the column so the threshold scan below
+      // reads the gathered copy instead of re-fetching every value.
       double lo = train.At((*rows)[0], f);
       double hi = lo;
+      col.clear();
       for (size_t r : *rows) {
         const double v = train.At(r, f);
+        col.push_back(v);
         lo = std::min(lo, v);
         hi = std::max(hi, v);
       }
@@ -299,9 +360,9 @@ int DecisionTree::BuildNode(const Dataset& train, std::vector<size_t>* rows,
       const double thr = rng->NextUniform(lo, hi);
       std::fill(left_counts.begin(), left_counts.end(), 0.0);
       double n_left = 0.0;
-      for (size_t r : *rows) {
-        if (train.At(r, f) <= thr) {
-          left_counts[static_cast<size_t>(train.Label(r))] += 1.0;
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (col[i] <= thr) {
+          left_counts[static_cast<size_t>(train.Label((*rows)[i]))] += 1.0;
           n_left += 1.0;
         }
       }
@@ -410,6 +471,15 @@ void DecisionTree::PredictProbaCounted(const Dataset& data,
   out->resize(data.num_rows());
   for (size_t r = 0; r < data.num_rows(); ++r) {
     (*out)[r] = RowProba(data, r, flops);
+  }
+}
+
+void DecisionTree::AccumulateProbaCounted(const Dataset& data, double* acc,
+                                          size_t k, double* flops) const {
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    const std::vector<double>& proba = RowProba(data, r, flops);
+    double* row = acc + r * k;
+    for (size_t c = 0; c < proba.size(); ++c) row[c] += proba[c];
   }
 }
 

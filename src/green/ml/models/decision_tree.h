@@ -25,6 +25,12 @@ struct DecisionTreeParams {
   /// feature's node-local min/max instead of exhaustively searched —
   /// the Extra-Trees randomization.
   bool random_thresholds = false;
+  /// > 0 replaces the exact classification split scan with a fixed-bin
+  /// histogram scan of that many bins (kernel path only; ignored when
+  /// GREEN_KERNELS=0 or random_thresholds is set). An approximation —
+  /// default 0 keeps the exact sweep, which no reproduced system
+  /// overrides, preserving the kernels-on/off byte-identity invariant.
+  int histogram_bins = 0;
   uint64_t seed = 1;
 };
 
@@ -50,6 +56,12 @@ class DecisionTree : public Estimator {
                     double* flops);
   void PredictProbaCounted(const Dataset& data, ProbaMatrix* out,
                            double* flops) const;
+  /// Adds each row's leaf distribution into a flat rows x k accumulator
+  /// (acc[r * k + c]) without materializing a per-tree ProbaMatrix —
+  /// the ensemble-predict kernel path. Charges the same flops as
+  /// PredictProbaCounted.
+  void AccumulateProbaCounted(const Dataset& data, double* acc, size_t k,
+                              double* flops) const;
 
   size_t num_nodes() const { return nodes_.size(); }
   double mean_leaf_depth() const { return mean_leaf_depth_; }
@@ -62,6 +74,8 @@ class DecisionTree : public Estimator {
     int right = -1;
     std::vector<double> proba;  ///< Leaf class distribution.
   };
+
+  struct KernelSink;  ///< TreeNodeSink adapter (decision_tree.cc).
 
   int BuildNode(const Dataset& train, std::vector<size_t>* rows, int depth,
                 Rng* rng, double* flops);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "green/ml/kernels/kernels.h"
+
 namespace green {
 
 Status ExtraTrees::Fit(const Dataset& train, ExecutionContext* ctx) {
@@ -48,20 +50,32 @@ Result<ProbaMatrix> ExtraTrees::PredictProba(const Dataset& data,
                                              ExecutionContext* ctx) const {
   if (!fitted()) return Status::FailedPrecondition("extra_trees not fitted");
   ChargeScope scope(ctx, Name());
-  ProbaMatrix total(data.num_rows(),
-                    std::vector<double>(
-                        static_cast<size_t>(num_classes()), 0.0));
+  const size_t k = static_cast<size_t>(num_classes());
+  ProbaMatrix total(data.num_rows(), std::vector<double>(k, 0.0));
   double flops = 0.0;
-  ProbaMatrix tree_out;
-  for (const DecisionTree& tree : trees_) {
-    tree.PredictProbaCounted(data, &tree_out, &flops);
-    for (size_t r = 0; r < data.num_rows(); ++r) {
-      for (size_t c = 0; c < total[r].size(); ++c) {
-        total[r][c] += tree_out[r][c];
-      }
+  if (KernelsEnabled()) {
+    // Flat rows x k accumulator, same add order as the per-tree matrix.
+    std::vector<double> acc(data.num_rows() * k, 0.0);
+    for (const DecisionTree& tree : trees_) {
+      tree.AccumulateProbaCounted(data, acc.data(), k, &flops);
+      flops += static_cast<double>(data.num_rows()) *
+               static_cast<double>(num_classes());
     }
-    flops += static_cast<double>(data.num_rows()) *
-             static_cast<double>(num_classes());
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      for (size_t c = 0; c < k; ++c) total[r][c] = acc[r * k + c];
+    }
+  } else {
+    ProbaMatrix tree_out;
+    for (const DecisionTree& tree : trees_) {
+      tree.PredictProbaCounted(data, &tree_out, &flops);
+      for (size_t r = 0; r < data.num_rows(); ++r) {
+        for (size_t c = 0; c < total[r].size(); ++c) {
+          total[r][c] += tree_out[r][c];
+        }
+      }
+      flops += static_cast<double>(data.num_rows()) *
+               static_cast<double>(num_classes());
+    }
   }
   const double inv = trees_.empty()
                          ? 1.0

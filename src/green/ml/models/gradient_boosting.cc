@@ -2,12 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
+#include <optional>
 
+#include "green/common/arena.h"
 #include "green/common/mathutil.h"
 #include "green/common/rng.h"
+#include "green/ml/kernels/kernels.h"
+#include "green/ml/kernels/tree_kernels.h"
 
 namespace green {
+
+namespace {
+
+/// Writes kernel-built nodes into a RegTree; reserve order matches the
+/// reference BuildRegNode's preorder emplace_back exactly.
+struct RegTreeSink : TreeNodeSink {
+  explicit RegTreeSink(std::vector<GradientBoosting::RegNode>* tree)
+      : tree(tree) {}
+  std::vector<GradientBoosting::RegNode>* tree;
+
+  int ReserveNode() override {
+    tree->emplace_back();
+    return static_cast<int>(tree->size() - 1);
+  }
+  void SetLeafProba(int node, std::vector<double> proba) override {
+    (*tree)[static_cast<size_t>(node)].value = proba[0];
+  }
+  void SetLeafValue(int node, double value) override {
+    (*tree)[static_cast<size_t>(node)].value = value;
+  }
+  void SetSplit(int node, int feature, double threshold, int left,
+                int right) override {
+    GradientBoosting::RegNode& n = (*tree)[static_cast<size_t>(node)];
+    n.feature = feature;
+    n.threshold = threshold;
+    n.left = left;
+    n.right = right;
+  }
+};
+
+}  // namespace
 
 Status GradientBoosting::Fit(const Dataset& train, ExecutionContext* ctx) {
   const size_t n = train.num_rows();
@@ -61,6 +98,22 @@ Status GradientBoosting::Fit(const Dataset& train, ExecutionContext* ctx) {
       std::iota(rows.begin(), rows.end(), 0);
     }
 
+    const bool use_kernels =
+        KernelsEnabled() &&
+        train.num_rows() <= std::numeric_limits<uint32_t>::max();
+    // The k per-class trees of one round share the row sample, so the
+    // kernel path presorts each feature once per round and hands every
+    // tree a pristine copy.
+    Arena* arena = ScratchArena();
+    ArenaScope round_scope(arena);
+    std::optional<GbRoundPresort> presort;
+    TreeKernelParams kp;
+    if (use_kernels) {
+      presort.emplace(train, rows, arena);
+      kp.max_depth = params_.max_depth;
+      kp.min_samples_leaf = params_.min_samples_leaf;
+    }
+
     std::vector<RegTree> round_trees;
     round_trees.reserve(static_cast<size_t>(k));
     for (int c = 0; c < k; ++c) {
@@ -79,7 +132,13 @@ Status GradientBoosting::Fit(const Dataset& train, ExecutionContext* ctx) {
         }
       }
       flops += static_cast<double>(n) * static_cast<double>(k);
-      RegTree tree = FitRegTree(train, rows, target, &flops);
+      RegTree tree;
+      if (use_kernels) {
+        RegTreeSink sink(&tree);
+        KernelBuildGbTree(*presort, target, kp, &flops, arena, &sink);
+      } else {
+        tree = FitRegTree(train, rows, target, &flops);
+      }
       for (size_t r = 0; r < n; ++r) {
         score[r][static_cast<size_t>(c)] +=
             params_.learning_rate * PredictRegTree(tree, train, r, &flops);

@@ -36,7 +36,7 @@ class GradientBoosting : public Estimator {
 
   int rounds_fitted() const { return rounds_fitted_; }
 
- private:
+  /// Tree node layout, public so the kernel sink adapter can emit nodes.
   struct RegNode {
     int feature = -1;  ///< -1 marks a leaf.
     double threshold = 0.0;
@@ -47,6 +47,7 @@ class GradientBoosting : public Estimator {
   /// One regression tree: flat node array, root at 0.
   using RegTree = std::vector<RegNode>;
 
+ private:
   RegTree FitRegTree(const Dataset& train,
                      const std::vector<size_t>& rows,
                      const std::vector<double>& target, double* flops) const;

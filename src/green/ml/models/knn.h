@@ -35,6 +35,10 @@ class Knn : public Estimator {
  private:
   KnnParams params_;
   Dataset train_;  ///< Memorized training set.
+  /// Column-major copy of the training matrix (cols_[j * n + r]), built
+  /// at fit when kernels are enabled so the per-query distance scan runs
+  /// contiguously; empty on the reference path.
+  std::vector<double> train_cols_;
 };
 
 }  // namespace green

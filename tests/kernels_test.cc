@@ -1,0 +1,359 @@
+// Tests for the cache-friendly model kernels (GREEN_KERNELS): end-to-end
+// bit-identity of sweep records, scope trees, and serve reports with the
+// kernels on vs off (sequential and across worker counts), arena
+// reuse/rewind semantics, and histogram-vs-exact split agreement on
+// discrete-valued (tie-heavy) features.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "green/automl/fitted_artifact.h"
+#include "green/bench_util/experiment.h"
+#include "green/bench_util/record_io.h"
+#include "green/common/arena.h"
+#include "green/common/rng.h"
+#include "green/common/stringutil.h"
+#include "green/data/synthetic.h"
+#include "green/ml/kernels/histogram.h"
+#include "green/ml/kernels/kernels.h"
+#include "green/ml/model_registry.h"
+#include "green/ml/models/decision_tree.h"
+#include "green/serve/artifact_ladder.h"
+#include "green/serve/inference_server.h"
+#include "green/serve/request_stream.h"
+#include "green/serve/serve_policy.h"
+#include "green/sim/execution_context.h"
+
+namespace green {
+namespace {
+
+/// Restores the process-wide kernel toggle (default: enabled) so a test
+/// that flips it cannot leak state into the rest of the binary.
+class KernelsToggleGuard {
+ public:
+  KernelsToggleGuard() = default;
+  ~KernelsToggleGuard() { SetKernelsEnabled(true); }
+};
+
+Dataset TestData(size_t rows, size_t features, int classes,
+                 uint64_t seed = 7) {
+  SyntheticSpec spec;
+  spec.name = "kernels";
+  spec.num_rows = rows;
+  spec.num_features = features;
+  spec.num_informative = features / 2;
+  spec.num_classes = classes;
+  spec.separation = 2.0;
+  spec.seed = seed;
+  auto data = GenerateSynthetic(spec);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+// --- End-to-end sweep identity ---------------------------------------
+
+std::string SerializeAll(const std::vector<RunRecord>& records) {
+  std::string out;
+  for (const RunRecord& r : records) out += RecordToJson(r) + "\n";
+  return out;
+}
+
+ExperimentConfig SmallSweepConfig() {
+  ExperimentConfig config;
+  config.dataset_limit = 2;
+  config.repetitions = 1;
+  config.collect_scopes = true;  // Identity must cover the scope trees.
+  return config;
+}
+
+std::string RunSmallSweep(bool kernels, int jobs) {
+  SetKernelsEnabled(kernels);
+  ExperimentConfig config = SmallSweepConfig();
+  config.jobs = jobs;
+  ExperimentRunner runner(config);
+  auto records = runner.Sweep({"caml", "flaml"}, {10.0});
+  EXPECT_TRUE(records.ok());
+  if (!records.ok()) return "";
+  return SerializeAll(records.value());
+}
+
+TEST(KernelSweepTest, RecordsAndScopesIdenticalKernelsOnOff) {
+  KernelsToggleGuard guard;
+  const std::string with_kernels = RunSmallSweep(/*kernels=*/true, 1);
+  const std::string reference = RunSmallSweep(/*kernels=*/false, 1);
+  ASSERT_FALSE(with_kernels.empty());
+  EXPECT_EQ(with_kernels, reference);
+}
+
+TEST(KernelSweepTest, RecordsIdenticalKernelsOnOffAcrossWorkerCounts) {
+  KernelsToggleGuard guard;
+  const std::string kernels_parallel = RunSmallSweep(/*kernels=*/true, 4);
+  const std::string reference_seq = RunSmallSweep(/*kernels=*/false, 1);
+  ASSERT_FALSE(kernels_parallel.empty());
+  EXPECT_EQ(kernels_parallel, reference_seq);
+}
+
+// --- Serve report identity -------------------------------------------
+
+std::string SerializeReport(const ServeReport& report) {
+  std::string out = StrFormat(
+      "arrived=%zu admitted=%zu completed=%zu degraded=%zu rejected=%zu "
+      "deadline=%zu batches=%zu duration=%.17g joules=%.17g\n",
+      report.arrived, report.admitted, report.completed, report.degraded,
+      report.rejected, report.deadline_exceeded, report.batches,
+      report.duration_seconds, report.total_joules);
+  for (const RequestResult& r : report.results) {
+    out += StrFormat("%zu %s %.17g %.17g %.17g %d %s %s\n",
+                     r.request_index, RequestOutcomeName(r.outcome),
+                     r.arrival_seconds, r.finish_seconds, r.joules,
+                     r.predicted_class, r.tier.c_str(), r.error.c_str());
+  }
+  return out;
+}
+
+std::string RunServeReplay(bool kernels) {
+  SetKernelsEnabled(kernels);
+  EnergyModel model(MachineModel::Minimal());
+  const Dataset data = TestData(200, 8, 3, /*seed=*/6);
+
+  VirtualClock clock;
+  ExecutionContext ctx(&clock, &model, 1);
+  std::vector<FittedArtifact::Member> members;
+  const char* configs[] = {"naive_bayes", "decision_tree"};
+  for (size_t j = 0; j < 2; ++j) {
+    PipelineConfig config;
+    config.model = configs[j];
+    config.seed = j + 1;
+    auto pipeline = BuildPipeline(config);
+    EXPECT_TRUE(pipeline.ok());
+    EXPECT_TRUE(pipeline->Fit(data, &ctx).ok());
+    FittedArtifact::Member member;
+    member.folds.push_back(
+        std::make_shared<Pipeline>(std::move(pipeline).value()));
+    member.weight = static_cast<double>(j + 1);
+    members.push_back(std::move(member));
+  }
+  auto ladder = ArtifactLadder::Build(
+      FittedArtifact::Weighted(std::move(members)), data, &model);
+  EXPECT_TRUE(ladder.ok());
+
+  TraceSpec spec;
+  spec.kind = TraceSpec::Kind::kBurst;
+  spec.duration_seconds = 20.0;
+  spec.rate_rps = 8.0;
+  const std::vector<ServeRequest> trace =
+      GenerateTrace(spec, data.num_rows());
+
+  ServePolicy policy;
+  InferenceServer server(std::move(ladder).value(), data, &model, policy);
+  auto report = server.Replay(trace);
+  EXPECT_TRUE(report.ok());
+  if (!report.ok()) return "";
+  EXPECT_TRUE(report->CheckConservation().ok());
+  return SerializeReport(report.value());
+}
+
+TEST(KernelServeTest, ServeReportIdenticalKernelsOnOff) {
+  KernelsToggleGuard guard;
+  const std::string with_kernels = RunServeReplay(/*kernels=*/true);
+  const std::string reference = RunServeReplay(/*kernels=*/false);
+  ASSERT_FALSE(with_kernels.empty());
+  EXPECT_EQ(with_kernels, reference);
+}
+
+// --- Arena -----------------------------------------------------------
+
+TEST(ArenaTest, ResetKeepsBlocksAndReusesThem) {
+  Arena arena(/*block_bytes=*/4096);
+  for (int i = 0; i < 8; ++i) arena.AllocArray<double>(400);
+  const size_t warm_blocks = arena.block_count();
+  const size_t warm_reserved = arena.reserved_bytes();
+  EXPECT_GT(warm_blocks, 1u);
+  EXPECT_GT(arena.allocated_bytes(), 0u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(arena.block_count(), warm_blocks);  // Blocks retained.
+  EXPECT_EQ(arena.reserved_bytes(), warm_reserved);
+
+  // The warmed arena satisfies the same allocation pattern without
+  // growing — the property that makes repeated fits allocation-free.
+  for (int i = 0; i < 8; ++i) arena.AllocArray<double>(400);
+  EXPECT_EQ(arena.block_count(), warm_blocks);
+}
+
+TEST(ArenaTest, ScopeRewindsNestedAllocations) {
+  Arena arena(/*block_bytes=*/4096);
+  arena.AllocArray<int>(10);
+  const Arena::Mark outer = arena.CurrentMark();
+  {
+    ArenaScope scope(&arena);
+    arena.AllocArray<double>(2000);  // Spills into further blocks.
+    {
+      ArenaScope inner(&arena);
+      arena.AllocArray<double>(2000);
+    }
+    arena.AllocArray<char>(64);
+  }
+  const Arena::Mark after = arena.CurrentMark();
+  EXPECT_EQ(after.block, outer.block);
+  EXPECT_EQ(after.offset, outer.offset);
+}
+
+TEST(ArenaTest, AllocationsAreAligned) {
+  Arena arena;
+  arena.Alloc(1, 1);  // Deliberately misalign the bump pointer.
+  double* d = arena.AllocArray<double>(3);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+  int32_t* i = arena.AllocArray<int32_t>(5);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(i) % alignof(int32_t), 0u);
+}
+
+// --- Histogram split vs exact sweep ----------------------------------
+
+/// Brute-force exact best split over a column: sort, sweep every gap
+/// between adjacent distinct values, score by weighted Gini — the same
+/// criterion both split paths optimize.
+struct ExactBest {
+  bool found = false;
+  double score = 0.0;
+  size_t n_left = 0;
+};
+
+ExactBest ExactBestSplit(const std::vector<double>& vals,
+                         const std::vector<int32_t>& labels, int k,
+                         int min_samples_leaf) {
+  const size_t n = vals.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return vals[a] < vals[b]; });
+  std::vector<double> left(static_cast<size_t>(k), 0.0);
+  std::vector<double> total(static_cast<size_t>(k), 0.0);
+  for (int32_t lab : labels) total[static_cast<size_t>(lab)] += 1.0;
+  ExactBest best;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    left[static_cast<size_t>(labels[order[i]])] += 1.0;
+    if (vals[order[i + 1]] - vals[order[i]] <= 1e-12) continue;
+    const size_t nl = i + 1;
+    const size_t nr = n - nl;
+    if (nl < static_cast<size_t>(min_samples_leaf) ||
+        nr < static_cast<size_t>(min_samples_leaf)) {
+      continue;
+    }
+    double gl = 1.0, gr = 1.0;
+    for (int c = 0; c < k; ++c) {
+      const double pl = left[static_cast<size_t>(c)] /
+                        static_cast<double>(nl);
+      const double pr = (total[static_cast<size_t>(c)] -
+                         left[static_cast<size_t>(c)]) /
+                        static_cast<double>(nr);
+      gl -= pl * pl;
+      gr -= pr * pr;
+    }
+    const double score = (static_cast<double>(nl) * gl +
+                          static_cast<double>(nr) * gr) /
+                         static_cast<double>(n);
+    if (!best.found || score < best.score - 1e-12) {
+      best.found = true;
+      best.score = score;
+      best.n_left = nl;
+    }
+  }
+  return best;
+}
+
+TEST(HistogramSplitTest, AgreesWithExactSweepOnDiscreteTies) {
+  // Discrete feature: 8 distinct values, each repeated 8 times (heavy
+  // ties). Labels correlate with value so there is a clear best split.
+  Rng rng(11);
+  std::vector<double> vals;
+  std::vector<int32_t> labels;
+  const int k = 3;
+  for (int v = 0; v < 8; ++v) {
+    for (int rep = 0; rep < 8; ++rep) {
+      vals.push_back(static_cast<double>(v));
+      const int noisy = rng.NextBounded(4) == 0
+                            ? static_cast<int>(rng.NextBounded(k))
+                            : (v < 3 ? 0 : (v < 6 ? 1 : 2));
+      labels.push_back(static_cast<int32_t>(noisy));
+    }
+  }
+  const int bins = 32;  // Every distinct value lands in its own bin.
+  std::vector<double> scratch((bins + 2) * k);
+  const HistogramSplit hist = HistogramSplitScanCls(
+      vals.data(), labels.data(), vals.size(), k, /*lo=*/0.0, /*hi=*/7.0,
+      bins, /*min_samples_leaf=*/2, scratch.data());
+  const ExactBest exact =
+      ExactBestSplit(vals, labels, k, /*min_samples_leaf=*/2);
+
+  ASSERT_TRUE(hist.found);
+  ASSERT_TRUE(exact.found);
+  // With one bin per distinct value the candidate partitions coincide,
+  // so the histogram must pick the exact optimum: same left block, same
+  // weighted Gini.
+  EXPECT_EQ(static_cast<size_t>(hist.n_left), exact.n_left);
+  EXPECT_NEAR(hist.score, exact.score, 1e-12);
+  // And its threshold routes the same rows: a bin edge between distinct
+  // values, not on one.
+  size_t routed_left = 0;
+  for (double v : vals) routed_left += v <= hist.threshold ? 1 : 0;
+  EXPECT_EQ(routed_left, exact.n_left);
+}
+
+TEST(HistogramSplitTest, TreePredictionsMatchExactOnDiscreteData) {
+  // A tree grown with histogram splits on discrete features must route
+  // every row exactly as the exact-sweep tree does: with <= 32 distinct
+  // values per feature and 64 bins, every exact midpoint threshold has a
+  // matching bin edge.
+  KernelsToggleGuard guard;
+  SetKernelsEnabled(true);
+  Dataset data = TestData(256, 6, 3, /*seed=*/13);
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t j = 0; j < data.num_features(); ++j) {
+      data.Set(r, j, std::floor(data.At(r, j) * 4.0) / 4.0);
+    }
+  }
+  EnergyModel model(MachineModel::Minimal());
+  VirtualClock clock;
+  ExecutionContext ctx(&clock, &model, 1);
+
+  DecisionTreeParams exact_params;
+  DecisionTree exact_tree(exact_params);
+  ASSERT_TRUE(exact_tree.Fit(data, &ctx).ok());
+  auto exact_proba = exact_tree.PredictProba(data, &ctx);
+  ASSERT_TRUE(exact_proba.ok());
+
+  DecisionTreeParams hist_params;
+  hist_params.histogram_bins = 64;
+  DecisionTree hist_tree(hist_params);
+  ASSERT_TRUE(hist_tree.Fit(data, &ctx).ok());
+  auto hist_proba = hist_tree.PredictProba(data, &ctx);
+  ASSERT_TRUE(hist_proba.ok());
+
+  ASSERT_EQ(exact_proba->size(), hist_proba->size());
+  size_t agree = 0;
+  for (size_t i = 0; i < exact_proba->size(); ++i) {
+    const auto& a = (*exact_proba)[i];
+    const auto& b = (*hist_proba)[i];
+    ASSERT_EQ(a.size(), b.size());
+    size_t am = 0, bm = 0;
+    for (size_t c = 1; c < a.size(); ++c) {
+      if (a[c] > a[am]) am = c;
+      if (b[c] > b[bm]) bm = c;
+    }
+    agree += am == bm ? 1 : 0;
+  }
+  // The approximation is allowed to differ on a handful of rows (bin
+  // edges vs midpoints shift deep-node tie-breaks); it must not diverge.
+  EXPECT_GE(agree, exact_proba->size() * 95 / 100);
+}
+
+}  // namespace
+}  // namespace green
